@@ -1,0 +1,60 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against the in-process engine and wire protocol.
+//
+// Usage:
+//
+//	experiments                 # run everything (paper order)
+//	experiments -exp fig13      # one experiment: table1 sec2 fig13 fig14
+//	                            # fig15 fig18 greedystats ratios
+//	experiments -scaleB 0.1     # full Config B scale (slower)
+//	experiments -repeat 3       # keep the fastest of 3 runs per plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silkroute/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, sec2, fig13, fig14, fig15, fig18, greedystats, ratios, spill")
+	scaleB := flag.Float64("scaleB", 0.02, "Config B scale factor (paper ratio is 0.1 = 100x Config A)")
+	repeat := flag.Int("repeat", 1, "runs per plan (fastest kept)")
+	csvDir := flag.String("csv", "", "also write the Figure 13/14 sweeps as CSV files into this directory")
+	flag.Parse()
+
+	s := bench.NewSuite(os.Stdout)
+	s.ScaleB = *scaleB
+	s.Repeat = *repeat
+
+	steps := map[string]func() error{
+		"all":         s.All,
+		"table1":      s.Table1,
+		"sec2":        s.Sec2,
+		"fig13":       s.Fig13,
+		"fig14":       s.Fig14,
+		"fig15":       s.Fig15,
+		"fig18":       s.Fig18,
+		"greedystats": s.GreedyStats,
+		"ratios":      s.Ratios,
+		"spill":       s.SpillAblation,
+	}
+	f, ok := steps[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := s.WriteSweepCSV(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command silkroute materializes an XML view of a relational database, the
+// end-to-end pipeline of the paper: RXL view in, XML document out.
+//
+// The database is either the built-in TPC-H generator or a directory of
+// CSV files matching the TPC-H fragment schema (see cmd/tpchgen). The view
+// is an RXL file, or one of the paper's built-in queries.
+//
+// It can also run as a standalone database server ("-serve"), and a
+// middleware instance on another machine can evaluate views against it
+// ("-connect"), reproducing the paper's client/server deployment.
+//
+// Usage:
+//
+//	silkroute -query q1 -scale 0.001 -strategy greedy > out.xml
+//	silkroute -view myview.rxl -data ./tpch-data -strategy unified -explain
+//	silkroute -serve :7070 -scale 0.01            # database server
+//	silkroute -connect host:7070 -query q1        # remote middleware
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"silkroute"
+	"silkroute/internal/rxl"
+)
+
+func main() {
+	queryName := flag.String("query", "", "built-in view: q1, q2, or fragment")
+	viewFile := flag.String("view", "", "path to an RXL view definition")
+	scale := flag.Float64("scale", 0.001, "TPC-H scale factor when generating data")
+	seed := flag.Int64("seed", 42, "TPC-H generator seed")
+	data := flag.String("data", "", "directory of <Relation>.csv files (instead of generating)")
+	strategy := flag.String("strategy", "greedy", "plan strategy: unified, unified-cte, outer-union, fully-partitioned, greedy")
+	explain := flag.Bool("explain", false, "print the plan and SQL to stderr")
+	noReduce := flag.Bool("no-reduce", false, "disable view-tree reduction")
+	serve := flag.String("serve", "", "run as a database server on this address instead of materializing")
+	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
+	flag.Parse()
+
+	if *serve != "" {
+		db := loadDB(*scale, *seed, *data)
+		l, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "silkroute: serving database on %s\n", l.Addr())
+		fatal(db.Serve(l))
+		return
+	}
+
+	src, err := viewSource(*queryName, *viewFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var view *silkroute.View
+	if *connect != "" {
+		// Remote middleware mode: the TPC-H schema is the local source
+		// description; data and optimizer live on the server.
+		remote := silkroute.ConnectTCP(*connect)
+		view, err = silkroute.ParseRemoteView(remote, silkroute.TPCHSourceDescription(), src)
+	} else {
+		db := loadDB(*scale, *seed, *data)
+		view, err = silkroute.ParseView(db, src)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	view.Reduce = !*noReduce
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	rep, err := view.Materialize(out, strat)
+	if err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *explain {
+		fmt.Fprintf(os.Stderr, "strategy: %s  streams: %d  rows: %d\n", rep.Strategy, rep.Streams, rep.Rows)
+		fmt.Fprintf(os.Stderr, "query time: %v  total time: %v\n", rep.QueryTime, rep.TotalTime)
+		if rep.Strategy == silkroute.Greedy {
+			fmt.Fprintf(os.Stderr, "greedy: mandatory=%v optional=%v estimate requests=%d\n",
+				rep.GreedyMandatory, rep.GreedyOptional, rep.EstimateRequests)
+		}
+		for i, sql := range rep.SQL {
+			fmt.Fprintf(os.Stderr, "-- stream %d --\n%s\n", i+1, sql)
+		}
+	}
+}
+
+// loadDB opens the TPC-H database from the generator or a CSV directory.
+func loadDB(scale float64, seed int64, data string) *silkroute.DB {
+	if data == "" {
+		return silkroute.OpenTPCH(scale, seed)
+	}
+	db := silkroute.OpenTPCH(0, seed) // empty tables, same schema
+	if err := db.LoadCSVDir(data); err != nil {
+		fatal(err)
+	}
+	return db
+}
+
+func viewSource(queryName, viewFile string) (string, error) {
+	switch {
+	case viewFile != "":
+		b, err := os.ReadFile(viewFile)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	case queryName == "q1":
+		return rxl.Query1Source, nil
+	case queryName == "q2":
+		return rxl.Query2Source, nil
+	case queryName == "fragment":
+		return rxl.FragmentSource, nil
+	case queryName == "":
+		return "", fmt.Errorf("specify -query q1|q2|fragment or -view file.rxl")
+	default:
+		return "", fmt.Errorf("unknown built-in query %q", queryName)
+	}
+}
+
+func parseStrategy(s string) (silkroute.Strategy, error) {
+	switch s {
+	case "unified":
+		return silkroute.Unified, nil
+	case "unified-cte":
+		return silkroute.UnifiedCTE, nil
+	case "outer-union":
+		return silkroute.OuterUnion, nil
+	case "fully-partitioned":
+		return silkroute.FullyPartitioned, nil
+	case "greedy":
+		return silkroute.Greedy, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silkroute:", err)
+	os.Exit(1)
+}

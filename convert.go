@@ -1,0 +1,47 @@
+package silkroute
+
+import (
+	"fmt"
+
+	"silkroute/internal/table"
+	"silkroute/internal/value"
+)
+
+// toRow converts Go values to a storage row. Accepted types: nil (NULL),
+// int, int64, float64, string, and bool (stored as 0/1).
+func toRow(values []any) (table.Row, error) {
+	row := make(table.Row, len(values))
+	for i, v := range values {
+		switch v := v.(type) {
+		case nil:
+			row[i] = value.Null
+		case int:
+			row[i] = value.Int(int64(v))
+		case int64:
+			row[i] = value.Int(v)
+		case float64:
+			row[i] = value.Float(v)
+		case string:
+			row[i] = value.String(v)
+		case bool:
+			row[i] = value.Bool(v)
+		default:
+			return nil, fmt.Errorf("unsupported value type %T at position %d", v, i)
+		}
+	}
+	return row, nil
+}
+
+// kindOf maps a facade column type to the storage kind.
+func kindOf(t ColumnType) (value.Kind, error) {
+	switch t {
+	case Int:
+		return value.KindInt, nil
+	case Float:
+		return value.KindFloat, nil
+	case String:
+		return value.KindString, nil
+	default:
+		return value.KindNull, fmt.Errorf("unknown column type %q", t)
+	}
+}

@@ -1,0 +1,3 @@
+module silkroute
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package engine is the target relational database of the reproduction: an
+// in-memory engine that accepts SQL text, executes it, and answers
+// cost/cardinality estimate requests.
+//
+// The paper's middleware treats the target RDBMS as two black-box
+// interfaces — "run this SQL and stream the tuples" (JDBC) and "estimate
+// this query's cost and result size" (the optimizer-as-oracle of §5). This
+// package provides exactly those two interfaces and nothing more, so the
+// SilkRoute layers above it genuinely cannot rely on engine internals, just
+// as the paper requires of a middleware system.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"silkroute/internal/schema"
+	"silkroute/internal/sqlast"
+	"silkroute/internal/sqlexec"
+	"silkroute/internal/sqlparse"
+	"silkroute/internal/table"
+)
+
+// Database is one target database instance: a schema plus stored tables.
+type Database struct {
+	Schema *schema.Schema
+	tables map[string]*table.Table
+
+	// SortBudgetRows bounds in-memory sorts: larger sorts spill to disk
+	// through the executor's external merge sort, reproducing the
+	// memory-pressure effects of the paper's Config B server. Zero means
+	// unlimited.
+	SortBudgetRows int
+
+	estimateRequests atomic.Int64
+}
+
+// SortMemoryRows implements sqlexec.SortBudget.
+func (db *Database) SortMemoryRows() int { return db.SortBudgetRows }
+
+// NewDatabase creates a database for the given schema with empty tables for
+// every relation.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{Schema: s, tables: make(map[string]*table.Table)}
+	for name, rel := range s.Relations {
+		db.tables[name] = table.New(rel)
+	}
+	return db
+}
+
+// Lookup implements sqlexec.Catalog.
+func (db *Database) Lookup(name string) (*table.Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Table returns the stored table for a relation, for loading data.
+func (db *Database) Table(name string) (*table.Table, error) {
+	t, ok := db.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable panics if the relation does not exist.
+func (db *Database) MustTable(name string) *table.Table {
+	t, err := db.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Result is a materialized query result with a streaming cursor interface.
+// The engine computes the entire result before returning (every SilkRoute
+// query ends in the structural sort, which forces full materialization in
+// any engine), then the middleware drains rows one at a time, paying the
+// wire cost per tuple.
+type Result struct {
+	Columns []string
+	rel     *sqlexec.Rel
+	pos     int
+}
+
+// Len returns the total number of rows in the result.
+func (r *Result) Len() int { return len(r.rel.Rows) }
+
+// Next returns the next row, or ok=false at the end of the stream.
+func (r *Result) Next() (table.Row, bool) {
+	if r.pos >= len(r.rel.Rows) {
+		return nil, false
+	}
+	row := r.rel.Rows[r.pos]
+	r.pos++
+	return row, true
+}
+
+// Reset rewinds the cursor to the first row.
+func (r *Result) Reset() { r.pos = 0 }
+
+// Execute parses and runs one SQL statement.
+func (db *Database) Execute(sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecuteQuery(q)
+}
+
+// ExecuteQuery runs an already-parsed statement.
+func (db *Database) ExecuteQuery(q sqlast.Query) (*Result, error) {
+	rel, err := sqlexec.Run(db, q)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(rel.Cols))
+	for i, c := range rel.Cols {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, rel: rel}, nil
+}
+
+// EstimateRequests returns how many estimate calls the database has served;
+// §5.1 reports this count for the greedy algorithm (22–25 versus the
+// theoretical 81).
+func (db *Database) EstimateRequests() int64 { return db.estimateRequests.Load() }
+
+// ResetEstimateRequests zeroes the counter between experiments.
+func (db *Database) ResetEstimateRequests() { db.estimateRequests.Store(0) }

@@ -1,0 +1,531 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"silkroute/internal/sqlast"
+	"silkroute/internal/sqlparse"
+)
+
+// Estimate is the optimizer oracle's answer for one query: an abstract
+// evaluation cost, a cardinality estimate, and an average result-row width
+// in bytes. The paper's greedy algorithm consumes evaluation_cost and
+// data_size = f(|attrs(q)| · cardinality(q)); DataSize derives the latter.
+type Estimate struct {
+	Cost  float64 // abstract evaluation cost units
+	Rows  float64 // estimated result cardinality
+	Width float64 // estimated average row width in bytes
+}
+
+// DataSize returns the estimated wire size of the result in bytes.
+func (e Estimate) DataSize() float64 { return e.Rows * e.Width }
+
+// EstimateSQL estimates the cost of a SQL string without executing it.
+func (db *Database) EstimateSQL(sql string) (Estimate, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return db.EstimateQuery(q)
+}
+
+// EstimateQuery estimates an already-parsed query. Every call increments
+// the estimate-request counter that §5.1's experiment reports.
+func (db *Database) EstimateQuery(q sqlast.Query) (Estimate, error) {
+	db.estimateRequests.Add(1)
+	est := &estimator{db: db}
+	r, err := est.estQuery(q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	// Every statement pays a fixed submit/parse/plan overhead; this is what
+	// penalizes plans with many tiny queries (the fully partitioned end of
+	// the paper's spectrum).
+	return Estimate{Cost: perQueryOverhead + r.cost, Rows: r.rows, Width: r.width()}, nil
+}
+
+// estCol is the estimator's knowledge about one column of an intermediate
+// result.
+type estCol struct {
+	qual     string
+	name     string
+	distinct float64
+	width    float64
+}
+
+// estRel is the estimator's model of an intermediate relation.
+type estRel struct {
+	cols []estCol
+	rows float64
+	cost float64
+}
+
+func (r *estRel) width() float64 {
+	var w float64
+	for _, c := range r.cols {
+		w += c.width
+	}
+	return w
+}
+
+// clampDistinct caps every column's distinct count at the row estimate.
+func (r *estRel) clampDistinct() {
+	for i := range r.cols {
+		if r.cols[i].distinct > r.rows {
+			r.cols[i].distinct = r.rows
+		}
+		if r.cols[i].distinct < 1 {
+			r.cols[i].distinct = 1
+		}
+	}
+}
+
+// findCol resolves a column reference leniently (first match wins; the
+// estimator prefers an answer over an error, like a real optimizer's
+// statistics layer).
+func findCol(cols []estCol, qual, name string) (int, bool) {
+	for i, c := range cols {
+		if c.name == "" || !strings.EqualFold(c.name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(c.qual, qual) {
+			continue
+		}
+		return i, true
+	}
+	return 0, false
+}
+
+const (
+	defaultSelectivity = 1.0 / 3.0 // non-equality predicates
+	sortCostFactor     = 1.0       // per row·log2(rows)
+	perQueryOverhead   = 50.0      // parse/plan/submit overhead per statement
+	// widthCostDivisor converts row width into a per-row work multiplier:
+	// materializing, sorting, and joining wide rows costs proportionally
+	// more than narrow ones (the executor concatenates and copies whole
+	// rows), which is what makes over-merged unified queries expensive.
+	widthCostDivisor = 32.0
+)
+
+// rowWork returns the per-row processing weight for a given row width.
+func rowWork(width float64) float64 { return 1 + width/widthCostDivisor }
+
+// estimator carries one estimate request's state: the database statistics
+// plus the WITH-clause overlay of already-estimated CTEs. A fresh
+// estimator per request keeps concurrent estimate requests independent.
+type estimator struct {
+	db   *Database
+	ctes map[string]*estRel
+}
+
+func (e *estimator) estQuery(q sqlast.Query) (*estRel, error) {
+	if w, ok := q.(*sqlast.With); ok {
+		sub := &estimator{db: e.db, ctes: make(map[string]*estRel, len(w.CTEs)+len(e.ctes))}
+		for k, v := range e.ctes {
+			sub.ctes[k] = v
+		}
+		for _, cte := range w.CTEs {
+			r, err := sub.estQuery(cte.Query)
+			if err != nil {
+				return nil, err
+			}
+			sub.ctes[strings.ToLower(cte.Name)] = r
+		}
+		return sub.estQuery(w.Body)
+	}
+	switch q := q.(type) {
+	case *sqlast.Select:
+		return e.estSelect(q)
+	case *sqlast.Union:
+		var out *estRel
+		for _, b := range q.Branches {
+			r, err := e.estSelect(b)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = r
+				continue
+			}
+			out.rows += r.rows
+			out.cost += r.cost
+			for i := range out.cols {
+				if i < len(r.cols) {
+					out.cols[i].distinct += r.cols[i].distinct
+					if r.cols[i].width > out.cols[i].width {
+						out.cols[i].width = r.cols[i].width
+					}
+				}
+			}
+		}
+		if out == nil {
+			return nil, fmt.Errorf("engine: estimate of empty union")
+		}
+		out.clampDistinct()
+		e.addSortCost(out, q.OrderBy)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("engine: estimate of %T", q)
+	}
+}
+
+func (e *estimator) addSortCost(r *estRel, order []sqlast.OrderItem) {
+	if len(order) == 0 || r.rows < 2 {
+		return
+	}
+	r.cost += sortCostFactor * r.rows * math.Log2(r.rows) * rowWork(r.width())
+	// A sort larger than the memory budget spills: charge the run
+	// write-out and merge read-back, proportional to the spilled bytes.
+	if e.db.SortBudgetRows > 0 && r.rows > float64(e.db.SortBudgetRows) {
+		r.cost += spillIOWeight * 2 * r.rows * r.width()
+	}
+}
+
+// spillIOWeight converts spilled bytes to cost units; calibrated so that a
+// spilling sort dominates the in-memory n·log n term, as disk I/O does.
+const spillIOWeight = 0.5
+
+func (e *estimator) estSelect(s *sqlast.Select) (*estRel, error) {
+	src, err := e.estFromWhere(s.From, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	out := &estRel{rows: src.rows, cost: src.cost}
+	for _, item := range s.Items {
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*sqlast.ColumnRef); ok {
+				name = cr.Column
+			}
+		}
+		col := estCol{name: name, distinct: 1, width: 9}
+		switch e := item.Expr.(type) {
+		case *sqlast.ColumnRef:
+			if i, ok := findCol(src.cols, e.Table, e.Column); ok {
+				col.distinct = src.cols[i].distinct
+				col.width = src.cols[i].width
+			}
+		case *sqlast.Literal:
+			col.width = float64(e.Val.WireSize())
+		}
+		out.cols = append(out.cols, col)
+	}
+	out.clampDistinct()
+	// Projection materializes every output row.
+	out.cost += out.rows * rowWork(out.width())
+	e.addSortCost(out, s.OrderBy)
+	return out, nil
+}
+
+func (e *estimator) estFromWhere(from []sqlast.TableExpr, where sqlast.Expr) (*estRel, error) {
+	if len(from) == 0 {
+		return &estRel{rows: 1}, nil
+	}
+	rels := make([]*estRel, len(from))
+	for i, te := range from {
+		r, err := e.estTable(te)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	conjs := sqlast.Conjuncts(where)
+	used := make([]bool, len(conjs))
+
+	// Single-relation filters first.
+	for ci, c := range conjs {
+		for _, r := range rels {
+			if sel, ok := singleRelSelectivity(c, r); ok {
+				r.rows *= sel
+				if r.rows < 1 {
+					r.rows = 1
+				}
+				r.clampDistinct()
+				used[ci] = true
+				break
+			}
+		}
+	}
+
+	// Greedy equi-joins, mirroring the executor's join order.
+	joined := rels[0]
+	remaining := rels[1:]
+	for len(remaining) > 0 {
+		bestIdx := -1
+		var bestSel float64
+		for ri, r := range remaining {
+			sel := 1.0
+			found := false
+			for ci, c := range conjs {
+				if used[ci] {
+					continue
+				}
+				if s, ok := equiSelectivity(c, joined, r); ok {
+					// Most restrictive predicate only: composite keys are
+					// correlated (see estJoin).
+					if s < sel {
+						sel = s
+					}
+					found = true
+				}
+			}
+			if found {
+				bestIdx = ri
+				bestSel = sel
+				break
+			}
+		}
+		if bestIdx < 0 {
+			bestIdx = 0
+			bestSel = 1.0
+		} else {
+			// Mark the conjuncts consumed by this join.
+			for ci, c := range conjs {
+				if used[ci] {
+					continue
+				}
+				if _, ok := equiSelectivity(c, joined, remaining[bestIdx]); ok {
+					used[ci] = true
+				}
+			}
+		}
+		right := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx:bestIdx], remaining[bestIdx+1:]...)
+		outRows := joined.rows * right.rows * bestSel
+		if outRows < 1 {
+			outRows = 1
+		}
+		cols := append(append([]estCol{}, joined.cols...), right.cols...)
+		var w float64
+		for _, c := range cols {
+			w += c.width
+		}
+		cost := joined.cost + right.cost + joined.rows + right.rows + outRows*rowWork(w)
+		joined = &estRel{
+			cols: cols,
+			rows: outRows,
+			cost: cost,
+		}
+		joined.clampDistinct()
+	}
+
+	for ci := range conjs {
+		if !used[ci] {
+			joined.rows *= defaultSelectivity
+			if joined.rows < 1 {
+				joined.rows = 1
+			}
+		}
+	}
+	joined.clampDistinct()
+	return joined, nil
+}
+
+func (e *estimator) estTable(te sqlast.TableExpr) (*estRel, error) {
+	switch te := te.(type) {
+	case *sqlast.BaseTable:
+		alias := te.Alias
+		if alias == "" {
+			alias = te.Name
+		}
+		if cte, ok := e.ctes[strings.ToLower(te.Name)]; ok {
+			// A CTE scan: the relation was materialized once by the WITH
+			// clause; a scan pays only the read.
+			out := &estRel{rows: cte.rows, cost: cte.rows}
+			for _, c := range cte.cols {
+				cc := c
+				cc.qual = alias
+				out.cols = append(out.cols, cc)
+			}
+			return out, nil
+		}
+		t, ok := e.db.Lookup(te.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: estimate of unknown table %q", te.Name)
+		}
+		st := t.Stats()
+		r := &estRel{rows: float64(st.RowCount), cost: float64(st.RowCount)}
+		for i, c := range t.Rel.Columns {
+			r.cols = append(r.cols, estCol{
+				qual:     alias,
+				name:     c.Name,
+				distinct: math.Max(1, float64(st.Columns[i].Distinct)),
+				width:    math.Max(1, st.Columns[i].AvgWidth),
+			})
+		}
+		return r, nil
+	case *sqlast.Derived:
+		inner, err := e.estQuery(te.Query)
+		if err != nil {
+			return nil, err
+		}
+		for i := range inner.cols {
+			inner.cols[i].qual = te.Alias
+		}
+		return inner, nil
+	case *sqlast.Join:
+		l, err := e.estTable(te.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.estTable(te.R)
+		if err != nil {
+			return nil, err
+		}
+		return estJoin(l, r, te.Kind, te.On), nil
+	default:
+		return nil, fmt.Errorf("engine: estimate of %T", te)
+	}
+}
+
+// estJoin estimates an explicit join node, handling the disjunctive ON
+// conditions of unified plans by summing per-disjunct match estimates.
+func estJoin(l, r *estRel, kind sqlast.JoinKind, on sqlast.Expr) *estRel {
+	var inner float64
+	if on == nil {
+		inner = l.rows * r.rows
+	} else {
+		var disjuncts []sqlast.Expr
+		if or, ok := on.(*sqlast.Or); ok {
+			disjuncts = or.Terms
+		} else {
+			disjuncts = []sqlast.Expr{on}
+		}
+		for _, d := range disjuncts {
+			// Composite-key joins (e.g. lineitem ⋈ partsupp on partkey and
+			// suppkey) have correlated predicates: multiplying their
+			// selectivities independently underestimates the result by
+			// orders of magnitude. Use the single most restrictive
+			// cross-relation predicate, and fold one-sided filters in
+			// multiplicatively (those are genuine restrictions).
+			joinSel := 1.0
+			filterSel := 1.0
+			for _, c := range sqlast.Conjuncts(d) {
+				if s, ok := equiSelectivity(c, l, r); ok {
+					if s < joinSel {
+						joinSel = s
+					}
+				} else if s, ok := singleRelSelectivity(c, l); ok {
+					filterSel *= s
+				} else if s, ok := singleRelSelectivity(c, r); ok {
+					filterSel *= s
+				} else {
+					filterSel *= defaultSelectivity
+				}
+			}
+			inner += l.rows * r.rows * joinSel * filterSel
+		}
+		if max := l.rows * r.rows; inner > max {
+			inner = max
+		}
+	}
+	rows := inner
+	if kind == sqlast.JoinLeftOuter && rows < l.rows {
+		rows = l.rows
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	cols := append(append([]estCol{}, l.cols...), r.cols...)
+	var w float64
+	for _, c := range cols {
+		w += c.width
+	}
+	out := &estRel{
+		cols: cols,
+		rows: rows,
+		cost: l.cost + r.cost + l.rows + r.rows + rows*rowWork(w),
+	}
+	out.clampDistinct()
+	return out
+}
+
+// equiSelectivity recognizes "a = b" with one side in l and the other in r
+// and returns the classic 1/max(distinct) selectivity.
+func equiSelectivity(c sqlast.Expr, l, r *estRel) (float64, bool) {
+	cmp, ok := c.(*sqlast.Compare)
+	if !ok || cmp.Op != sqlast.OpEq {
+		return 0, false
+	}
+	lc, lok := cmp.L.(*sqlast.ColumnRef)
+	rc, rok := cmp.R.(*sqlast.ColumnRef)
+	if !lok || !rok {
+		return 0, false
+	}
+	li, inL := findCol(l.cols, lc.Table, lc.Column)
+	ri, inR := findCol(r.cols, rc.Table, rc.Column)
+	if !inL || !inR {
+		ri2, inR2 := findCol(r.cols, lc.Table, lc.Column)
+		li2, inL2 := findCol(l.cols, rc.Table, rc.Column)
+		if !inR2 || !inL2 {
+			return 0, false
+		}
+		li, ri = li2, ri2
+	}
+	d := math.Max(l.cols[li].distinct, r.cols[ri].distinct)
+	if d < 1 {
+		d = 1
+	}
+	return 1 / d, true
+}
+
+// singleRelSelectivity estimates a predicate whose references all resolve
+// in one relation: equality with a literal uses 1/distinct, other
+// comparisons use the default selectivity.
+func singleRelSelectivity(c sqlast.Expr, r *estRel) (float64, bool) {
+	refs := collectRefs(c)
+	if len(refs) == 0 {
+		return 0, false
+	}
+	for _, cr := range refs {
+		if _, ok := findCol(r.cols, cr.Table, cr.Column); !ok {
+			return 0, false
+		}
+	}
+	if cmp, ok := c.(*sqlast.Compare); ok && cmp.Op == sqlast.OpEq {
+		if cr, ok := cmp.L.(*sqlast.ColumnRef); ok {
+			if _, isLit := cmp.R.(*sqlast.Literal); isLit {
+				if i, ok := findCol(r.cols, cr.Table, cr.Column); ok {
+					return 1 / math.Max(1, r.cols[i].distinct), true
+				}
+			}
+		}
+		if cr, ok := cmp.R.(*sqlast.ColumnRef); ok {
+			if _, isLit := cmp.L.(*sqlast.Literal); isLit {
+				if i, ok := findCol(r.cols, cr.Table, cr.Column); ok {
+					return 1 / math.Max(1, r.cols[i].distinct), true
+				}
+			}
+		}
+	}
+	return defaultSelectivity, true
+}
+
+// collectRefs gathers the column references of an expression.
+func collectRefs(e sqlast.Expr) []*sqlast.ColumnRef {
+	var out []*sqlast.ColumnRef
+	var walk func(sqlast.Expr)
+	walk = func(e sqlast.Expr) {
+		switch e := e.(type) {
+		case *sqlast.ColumnRef:
+			out = append(out, e)
+		case *sqlast.Compare:
+			walk(e.L)
+			walk(e.R)
+		case *sqlast.And:
+			for _, t := range e.Terms {
+				walk(t)
+			}
+		case *sqlast.Or:
+			for _, t := range e.Terms {
+				walk(t)
+			}
+		case *sqlast.IsNull:
+			walk(e.E)
+		}
+	}
+	walk(e)
+	return out
+}

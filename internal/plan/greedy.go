@@ -1,0 +1,207 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/sqlast"
+	"silkroute/internal/sqlgen"
+	"silkroute/internal/viewtree"
+	"silkroute/internal/wire"
+)
+
+// Oracle answers cost-estimate requests: the paper's "only reliable source
+// of query costs is the target RDBMS". A local engine.Database implements
+// it directly; RemoteOracle reaches a database behind the wire protocol.
+type Oracle interface {
+	EstimateQuery(q sqlast.Query) (engine.Estimate, error)
+}
+
+// RemoteOracle adapts a wire client into an Oracle, sending each candidate
+// query's SQL to the remote optimizer.
+type RemoteOracle struct {
+	Client *wire.Client
+}
+
+// EstimateQuery implements Oracle over the wire protocol.
+func (r RemoteOracle) EstimateQuery(q sqlast.Query) (engine.Estimate, error) {
+	return r.Client.Estimate(sqlast.Print(q))
+}
+
+// GreedyParams configures the §5 plan-generation algorithm. The cost of a
+// candidate query q is
+//
+//	cost(q) = A·evaluation_cost(q) + B·data_size(q)
+//
+// with both terms supplied by the target database's estimate oracle. An
+// edge whose relative cost (combined minus separate) is below T1 becomes
+// mandatory; below T2, optional. The paper used A=100, B=1, T1=-60000,
+// T2=6000 against its commercial optimizer's units; DefaultGreedyParams
+// holds the values calibrated against this repository's engine.
+type GreedyParams struct {
+	A, B   float64
+	T1, T2 float64
+	Reduce bool
+	Style  sqlgen.Style
+}
+
+// DefaultGreedyParams returns the calibrated parameters, analogous to the
+// single setting the paper used for every experiment.
+func DefaultGreedyParams(reduce bool) GreedyParams {
+	return GreedyParams{A: 100, B: 1, T1: -4000, T2: 6000, Reduce: reduce, Style: sqlgen.OuterJoin}
+}
+
+// GreedyResult is the outcome of the greedy search: a set of mandatory
+// edges (always kept) and optional edges (each subset of which defines one
+// near-optimal plan — 2^|Optional| plans in total).
+type GreedyResult struct {
+	Params    GreedyParams
+	Mandatory []int // view-tree edge indices
+	Optional  []int
+	// Requests counts the cost-estimate calls made to the database during
+	// the search (§5.1 reports 22–25 against a worst case of 81).
+	Requests int64
+}
+
+// Plans enumerates the plan family: mandatory edges plus every subset of
+// the optional edges.
+func (r *GreedyResult) Plans(t *viewtree.Tree) []*Plan {
+	n := len(r.Optional)
+	out := make([]*Plan, 0, 1<<uint(n))
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		keep := make([]bool, len(t.Edges))
+		for _, e := range r.Mandatory {
+			keep[e] = true
+		}
+		for i, e := range r.Optional {
+			if bits&(1<<uint(i)) != 0 {
+				keep[e] = true
+			}
+		}
+		out = append(out, &Plan{Tree: t, Keep: keep, Reduce: r.Params.Reduce, Style: r.Params.Style})
+	}
+	return out
+}
+
+// BestPlan returns the family's representative plan: mandatory plus all
+// optional edges.
+func (r *GreedyResult) BestPlan(t *viewtree.Tree) *Plan {
+	keep := make([]bool, len(t.Edges))
+	for _, e := range r.Mandatory {
+		keep[e] = true
+	}
+	for _, e := range r.Optional {
+		keep[e] = true
+	}
+	return &Plan{Tree: t, Keep: keep, Reduce: r.Params.Reduce, Style: r.Params.Style, Wrapper: "document"}
+}
+
+// Greedy runs the paper's genPlan algorithm (Fig. 17): repeatedly estimate
+// the relative cost of every remaining edge — the cost of evaluating the
+// two incident queries combined minus the sum of their separate costs —
+// and greedily contract the cheapest edge while it qualifies under the
+// thresholds. Cost estimates are cached per candidate query, so the
+// number of oracle requests stays far below the O(|E|²) bound.
+func Greedy(oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, error) {
+	res := &GreedyResult{Params: prm}
+	contracted := make([]bool, len(t.Edges))
+
+	// componentCost estimates the cost of the single query evaluating the
+	// component that contains seed, under the given contracted-edge set.
+	costCache := make(map[string]float64)
+	componentCost := func(keep []bool, seed *viewtree.Node) (float64, error) {
+		comps, err := t.Partition(keep, prm.Reduce)
+		if err != nil {
+			return 0, err
+		}
+		var comp *viewtree.Component
+	outer:
+		for _, c := range comps {
+			for _, n := range c.Nodes() {
+				if n == seed {
+					comp = c
+					break outer
+				}
+			}
+		}
+		if comp == nil {
+			return 0, fmt.Errorf("plan: component for node %s not found", seed.SkolemName)
+		}
+		key := componentKey(comp, prm.Reduce)
+		if c, ok := costCache[key]; ok {
+			return c, nil
+		}
+		streams, err := sqlgen.Generate(t, []*viewtree.Component{comp}, prm.Style)
+		if err != nil {
+			return 0, err
+		}
+		est, err := oracle.EstimateQuery(streams[0].Query)
+		if err != nil {
+			return 0, err
+		}
+		res.Requests++
+		cost := prm.A*est.Cost + prm.B*est.DataSize()
+		costCache[key] = cost
+		return cost, nil
+	}
+
+	for {
+		bestEdge := -1
+		bestCost := 0.0
+		for ei, e := range t.Edges {
+			if contracted[ei] {
+				continue
+			}
+			q1, err := componentCost(contracted, e.Parent)
+			if err != nil {
+				return nil, err
+			}
+			q2, err := componentCost(contracted, e.Child)
+			if err != nil {
+				return nil, err
+			}
+			withEdge := append([]bool{}, contracted...)
+			withEdge[ei] = true
+			qc, err := componentCost(withEdge, e.Parent)
+			if err != nil {
+				return nil, err
+			}
+			rel := qc - (q1 + q2)
+			if bestEdge < 0 || rel < bestCost {
+				bestEdge = ei
+				bestCost = rel
+			}
+		}
+		if bestEdge < 0 || bestCost >= prm.T2 {
+			break
+		}
+		if bestCost < prm.T1 {
+			res.Mandatory = append(res.Mandatory, bestEdge)
+		} else {
+			res.Optional = append(res.Optional, bestEdge)
+		}
+		contracted[bestEdge] = true
+	}
+	sort.Ints(res.Mandatory)
+	sort.Ints(res.Optional)
+	return res, nil
+}
+
+// componentKey identifies a candidate query by the set of nodes it
+// evaluates. In a tree, a connected component's node set determines its
+// internal edge set (every tree edge between two member nodes must be
+// kept, or the component would not be connected), so the set alone keys
+// the query.
+func componentKey(c *viewtree.Component, reduce bool) string {
+	var sfis []string
+	for _, g := range c.Groups {
+		for _, m := range g.Members {
+			sfis = append(sfis, viewtree.SFIString(m.SFI))
+		}
+	}
+	sort.Strings(sfis)
+	return strings.Join(sfis, ",") + "/" + strconv.FormatBool(reduce)
+}

@@ -1,0 +1,252 @@
+// Package plan represents, executes, and searches over the execution plans
+// of a view tree. A plan is a subset of the tree's edges (plus a reduction
+// flag and a SQL-generation style); executing a plan submits one SQL query
+// per connected component, merges the resulting tuple streams, and tags
+// the XML document.
+//
+// The package provides the paper's three families of machinery:
+//
+//   - named default plans: unified outer-join, unified outer-union, and
+//     fully partitioned;
+//   - the exhaustive enumerator used by §4's experiments (all 2^|E| plans);
+//   - the greedy genPlan algorithm of §5, which uses the target database's
+//     cost estimates to select mandatory and optional edges.
+package plan
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/sqlgen"
+	"silkroute/internal/tagger"
+	"silkroute/internal/value"
+	"silkroute/internal/viewtree"
+	"silkroute/internal/wire"
+)
+
+// Plan identifies one execution strategy for a view tree.
+type Plan struct {
+	Tree   *viewtree.Tree
+	Keep   []bool // kept edges, indexed like Tree.Edges
+	Reduce bool   // apply view-tree reduction (§3.5)
+	Style  sqlgen.Style
+	// Wrapper is the document element wrapped around the output; the
+	// constructors default it to "document", and "" emits a bare element
+	// sequence.
+	Wrapper string
+	// Unordered runs the [9]-style unordered strategy the paper's §6
+	// discusses: the structural ORDER BY is stripped from every query (no
+	// server-side sorts) and the tagger assembles the document in memory.
+	// Only usable when the document fits in client memory.
+	Unordered bool
+}
+
+// Unified returns the plan keeping every edge: one SQL query.
+func Unified(t *viewtree.Tree, reduce bool) *Plan {
+	return &Plan{Tree: t, Keep: t.AllEdges(), Reduce: reduce, Style: sqlgen.OuterJoin, Wrapper: "document"}
+}
+
+// UnifiedOuterUnion returns the sorted outer-union comparator plan of [9].
+func UnifiedOuterUnion(t *viewtree.Tree, reduce bool) *Plan {
+	return &Plan{Tree: t, Keep: t.AllEdges(), Reduce: reduce, Style: sqlgen.OuterUnion, Wrapper: "document"}
+}
+
+// FullyPartitioned returns the plan cutting every edge: one SQL query per
+// view-tree node.
+func FullyPartitioned(t *viewtree.Tree) *Plan {
+	return &Plan{Tree: t, Keep: t.NoEdges(), Style: sqlgen.OuterJoin, Wrapper: "document"}
+}
+
+// FromBits builds a plan from an edge bitmask (bit i keeps Tree.Edges[i]).
+func FromBits(t *viewtree.Tree, bits uint64, reduce bool) *Plan {
+	return &Plan{Tree: t, Keep: t.KeepFromBits(bits), Reduce: reduce, Style: sqlgen.OuterJoin, Wrapper: "document"}
+}
+
+// KeptEdges counts the kept edges.
+func (p *Plan) KeptEdges() int {
+	n := 0
+	for _, k := range p.Keep {
+		if k {
+			n++
+		}
+	}
+	return n
+}
+
+// NumStreams returns the number of tuple streams (SQL queries) the plan
+// produces: one per connected component.
+func (p *Plan) NumStreams() int {
+	return len(p.Tree.Nodes) - p.KeptEdges()
+}
+
+// Streams partitions the view tree and generates the plan's SQL queries.
+func (p *Plan) Streams() ([]*sqlgen.Stream, error) {
+	comps, err := p.Tree.Partition(p.Keep, p.Reduce)
+	if err != nil {
+		return nil, err
+	}
+	streams, err := sqlgen.Generate(p.Tree, comps, p.Style)
+	if err != nil {
+		return nil, err
+	}
+	if p.Unordered {
+		for _, s := range streams {
+			s.StripOrder()
+		}
+	}
+	return streams, nil
+}
+
+// Metrics reports one plan execution's measurements, mirroring the paper's
+// two reported times: query-only time (until every stream has produced its
+// first tuple — dominated by server-side execution and sorting) and total
+// time (until the last tuple has been read and tagged).
+type Metrics struct {
+	Streams   int
+	QueryTime time.Duration
+	TotalTime time.Duration
+	Rows      int64 // total tuples transferred across all streams
+	Bytes     int64 // total payload bytes transferred (wire execution only)
+}
+
+// resultSource adapts an engine result to a tagger source and counts the
+// rows consumed.
+type resultSource struct {
+	res  *engine.Result
+	rows *int64
+}
+
+func (s *resultSource) Next() ([]value.Value, bool, error) {
+	row, ok := s.res.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	*s.rows++
+	return row, true, nil
+}
+
+// ExecuteDirect runs the plan against an in-process engine (no wire
+// protocol) and writes the XML document to w. Queries execute one after
+// another; query time is the sum of server execution times, total time
+// adds tagging.
+func ExecuteDirect(db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
+	streams, err := p.Streams()
+	if err != nil {
+		return Metrics{}, err
+	}
+	start := time.Now()
+	m := Metrics{Streams: len(streams)}
+	inputs := make([]tagger.Input, len(streams))
+	for i, s := range streams {
+		res, err := db.ExecuteQuery(s.Query)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, err)
+		}
+		inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{res: res, rows: &m.Rows}}
+	}
+	m.QueryTime = time.Since(start)
+	tg := tagger.New(p.Tree)
+	tg.Wrapper = p.Wrapper
+	if err := writeDoc(tg, w, inputs, p.Unordered); err != nil {
+		return Metrics{}, err
+	}
+	m.TotalTime = time.Since(start)
+	return m, nil
+}
+
+// writeDoc dispatches between the sorted constant-space merge and the
+// unordered in-memory assembly.
+func writeDoc(tg *tagger.Tagger, w io.Writer, inputs []tagger.Input, unordered bool) error {
+	if unordered {
+		return tg.WriteXMLUnordered(w, inputs)
+	}
+	return tg.WriteXML(w, inputs)
+}
+
+// wireSource adapts a wire row stream to a tagger source.
+type wireSource struct {
+	rows *wire.Rows
+}
+
+func (s *wireSource) Next() ([]value.Value, bool, error) {
+	row, err := s.rows.Next()
+	if err == io.EOF {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// ExecuteWire runs the plan through the wire protocol: all SQL queries are
+// submitted concurrently (one connection per stream, as the paper's client
+// opened one JDBC result set per query), then the tagger merges the
+// streams. Query time is the span from submission until every stream has
+// returned its first tuple; total time runs until the document is written.
+func ExecuteWire(client *wire.Client, p *Plan, w io.Writer) (Metrics, error) {
+	streams, err := p.Streams()
+	if err != nil {
+		return Metrics{}, err
+	}
+	start := time.Now()
+	m := Metrics{Streams: len(streams)}
+
+	type opened struct {
+		rows *wire.Rows
+		err  error
+	}
+	results := make([]opened, len(streams))
+	var wg sync.WaitGroup
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, sql string) {
+			defer wg.Done()
+			rows, err := client.Query(sql)
+			results[i] = opened{rows: rows, err: err}
+		}(i, s.SQL())
+	}
+	wg.Wait()
+	m.QueryTime = time.Since(start)
+
+	inputs := make([]tagger.Input, len(streams))
+	for i, r := range results {
+		if r.err != nil {
+			for _, o := range results {
+				if o.rows != nil {
+					o.rows.Close()
+				}
+			}
+			return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, r.err)
+		}
+		inputs[i] = tagger.Input{Meta: streams[i], Rows: &wireSource{rows: r.rows}}
+	}
+	tg := tagger.New(p.Tree)
+	tg.Wrapper = p.Wrapper
+	if err := writeDoc(tg, w, inputs, p.Unordered); err != nil {
+		return Metrics{}, err
+	}
+	m.TotalTime = time.Since(start)
+	for _, r := range results {
+		m.Rows += r.rows.RowCount
+		m.Bytes += r.rows.BytesRead
+	}
+	return m, nil
+}
+
+// Enumerate calls fn for every one of the 2^|E| plans of the tree, in
+// bitmask order. It is the driver behind the exhaustive experiments of §4.
+func Enumerate(t *viewtree.Tree, reduce bool, fn func(bits uint64, p *Plan) error) error {
+	if len(t.Edges) > 30 {
+		return fmt.Errorf("plan: refusing to enumerate 2^%d plans", len(t.Edges))
+	}
+	for bits := uint64(0); bits < 1<<uint(len(t.Edges)); bits++ {
+		if err := fn(bits, FromBits(t, bits, reduce)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package plan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/rxl"
+	"silkroute/internal/sqlgen"
+	"silkroute/internal/tpch"
+	"silkroute/internal/value"
+	"silkroute/internal/viewtree"
+	"silkroute/internal/wire"
+)
+
+// fig8DB loads the paper's Fig. 8 database instance into the TPC-H schema.
+func fig8DB(t *testing.T) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase(tpch.Schema())
+	sup := db.MustTable("Supplier")
+	sup.MustInsert(value.Int(1), value.String("USA Metalworks"), value.String("New York"), value.Int(24))
+	sup.MustInsert(value.Int(2), value.String("Romana Espanola"), value.String("Madrid"), value.Int(3))
+	sup.MustInsert(value.Int(3), value.String("Fonderie Francais"), value.String("Paris"), value.Int(19))
+	nat := db.MustTable("Nation")
+	nat.MustInsert(value.Int(24), value.String("USA"), value.Int(1))
+	nat.MustInsert(value.Int(3), value.String("Spain"), value.Int(2))
+	nat.MustInsert(value.Int(19), value.String("France"), value.Int(3))
+	reg := db.MustTable("Region")
+	reg.MustInsert(value.Int(1), value.String("AMERICA"))
+	reg.MustInsert(value.Int(2), value.String("EUROPE"))
+	reg.MustInsert(value.Int(3), value.String("EUROPE2"))
+	ps := db.MustTable("PartSupp")
+	ps.MustInsert(value.Int(4), value.Int(1), value.Int(100))
+	ps.MustInsert(value.Int(12), value.Int(1), value.Int(320))
+	ps.MustInsert(value.Int(20), value.Int(3), value.Int(64))
+	part := db.MustTable("Part")
+	part.MustInsert(value.Int(4), value.String("plated brass"), value.String("m3"), value.String("Brand1"), value.Int(1), value.Float(904.00))
+	part.MustInsert(value.Int(12), value.String("anodized steel"), value.String("m4"), value.String("Brand2"), value.Int(2), value.Float(912.01))
+	part.MustInsert(value.Int(20), value.String("polished nickel"), value.String("m1"), value.String("Brand3"), value.Int(3), value.Float(920.02))
+	return db
+}
+
+func fragmentTree(t *testing.T) *viewtree.Tree {
+	t.Helper()
+	q, err := rxl.Parse(rxl.FragmentSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := viewtree.Build(q, tpch.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func runPlan(t *testing.T, db *engine.Database, p *Plan) (string, Metrics) {
+	t.Helper()
+	var buf bytes.Buffer
+	m, err := ExecuteDirect(db, p, &buf)
+	if err != nil {
+		t.Fatalf("ExecuteDirect: %v", err)
+	}
+	return buf.String(), m
+}
+
+// fig8XML is the expected document for the fragment query over Fig. 8:
+// each supplier with its nation and parts, suppliers without parts kept.
+const fig8XML = "<document>" +
+	"<supplier><nation>USA</nation><part>plated brass</part><part>anodized steel</part></supplier>" +
+	"<supplier><nation>Spain</nation></supplier>" +
+	"<supplier><nation>France</nation><part>polished nickel</part></supplier>" +
+	"</document>"
+
+func TestFragmentUnifiedPlanProducesPaperDocument(t *testing.T) {
+	db := fig8DB(t)
+	tree := fragmentTree(t)
+	got, m := runPlan(t, db, Unified(tree, false))
+	if got != fig8XML {
+		t.Errorf("unified plan document:\n got: %s\nwant: %s", got, fig8XML)
+	}
+	if m.Streams != 1 {
+		t.Errorf("unified plan streams = %d", m.Streams)
+	}
+}
+
+func TestFragmentAllFourPlansAgree(t *testing.T) {
+	// Fig. 5: the fragment's 2 edges give 4 plans — (a) unified, (b)/(c)
+	// one edge cut, (d) fully partitioned. All must produce the document.
+	db := fig8DB(t)
+	tree := fragmentTree(t)
+	for bits := uint64(0); bits < 4; bits++ {
+		for _, reduce := range []bool{false, true} {
+			p := FromBits(tree, bits, reduce)
+			got, m := runPlan(t, db, p)
+			if got != fig8XML {
+				t.Errorf("plan bits=%b reduce=%v:\n got: %s\nwant: %s", bits, reduce, got, fig8XML)
+			}
+			if want := 3 - p.KeptEdges(); m.Streams != want {
+				t.Errorf("plan bits=%b: %d streams, want %d", bits, m.Streams, want)
+			}
+		}
+	}
+}
+
+func TestFragmentOuterUnionStyleAgrees(t *testing.T) {
+	db := fig8DB(t)
+	tree := fragmentTree(t)
+	for _, reduce := range []bool{false, true} {
+		p := UnifiedOuterUnion(tree, reduce)
+		got, _ := runPlan(t, db, p)
+		if got != fig8XML {
+			t.Errorf("outer-union reduce=%v:\n got: %s\nwant: %s", reduce, got, fig8XML)
+		}
+	}
+}
+
+func TestFragmentWireExecutionAgrees(t *testing.T) {
+	db := fig8DB(t)
+	tree := fragmentTree(t)
+	client := wire.InProcess(db)
+	for bits := uint64(0); bits < 4; bits++ {
+		var buf bytes.Buffer
+		m, err := ExecuteWire(client, FromBits(tree, bits, false), &buf)
+		if err != nil {
+			t.Fatalf("ExecuteWire bits=%b: %v", bits, err)
+		}
+		if buf.String() != fig8XML {
+			t.Errorf("wire bits=%b:\n got: %s\nwant: %s", bits, buf.String(), fig8XML)
+		}
+		if m.Bytes <= 0 || m.Rows <= 0 {
+			t.Errorf("wire metrics: %+v", m)
+		}
+	}
+}
+
+// TestQuery1All512PlansProduceIdenticalXML is the paper's correctness
+// premise: every spanning-forest plan of the Query 1 view tree — reduced
+// or not — computes the same document.
+func TestQuery1All512PlansProduceIdenticalXML(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-plan sweep in -short mode")
+	}
+	db := tpch.Generate(0.0004, 11)
+	q, err := rxl.Parse(rxl.Query1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := viewtree.Build(q, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, _ := runPlan(t, db, Unified(tree, false))
+	if !strings.Contains(reference, "<supplier>") || !strings.Contains(reference, "<okey>") {
+		t.Fatalf("reference document suspicious: %.200s", reference)
+	}
+	var checked int
+	err = Enumerate(tree, false, func(bits uint64, p *Plan) error {
+		// Check every 7th plan plus the extremes to keep the test fast;
+		// the full sweep runs in the experiment harness.
+		if bits%7 != 0 && bits != 511 {
+			return nil
+		}
+		checked++
+		got, _ := runPlan(t, db, p)
+		if got != reference {
+			t.Fatalf("plan %09b differs from reference (lengths %d vs %d)", bits, len(got), len(reference))
+		}
+		gotR, _ := runPlan(t, db, FromBits(tree, bits, true))
+		if gotR != reference {
+			t.Fatalf("reduced plan %09b differs from reference", bits)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 70 {
+		t.Fatalf("only %d plans checked", checked)
+	}
+}
+
+func TestQuery2PlansProduceIdenticalXML(t *testing.T) {
+	db := tpch.Generate(0.0004, 11)
+	q, err := rxl.Parse(rxl.Query2Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := viewtree.Build(q, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, _ := runPlan(t, db, Unified(tree, false))
+	for _, p := range []*Plan{
+		FullyPartitioned(tree),
+		Unified(tree, true),
+		UnifiedOuterUnion(tree, false),
+		UnifiedOuterUnion(tree, true),
+		FromBits(tree, 0b101010101, false),
+		FromBits(tree, 0b010101010, true),
+	} {
+		got, _ := runPlan(t, db, p)
+		if got != reference {
+			t.Fatalf("plan (%d streams, reduce=%v, style=%v) differs from reference",
+				p.NumStreams(), p.Reduce, p.Style)
+		}
+	}
+}
+
+func TestNumStreamsMatchesComponents(t *testing.T) {
+	tree := fragmentTree(t)
+	for bits := uint64(0); bits < 4; bits++ {
+		p := FromBits(tree, bits, false)
+		streams, err := p.Streams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streams) != p.NumStreams() {
+			t.Errorf("bits=%b: %d streams, NumStreams()=%d", bits, len(streams), p.NumStreams())
+		}
+	}
+}
+
+func TestReductionShrinksUnifiedQueryRowCount(t *testing.T) {
+	// The point of reduction: merged '1'-children stop being separate
+	// rows, so the unified plan transfers fewer tuples.
+	db := tpch.Generate(0.001, 3)
+	q, err := rxl.Parse(rxl.Query1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := viewtree.Build(q, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlPlain, mPlain := runPlan(t, db, Unified(tree, false))
+	xmlReduced, mReduced := runPlan(t, db, Unified(tree, true))
+	if xmlPlain != xmlReduced {
+		t.Fatal("reduction changed the document")
+	}
+	if mReduced.Rows >= mPlain.Rows {
+		t.Errorf("reduction did not shrink row count: %d >= %d", mReduced.Rows, mPlain.Rows)
+	}
+}
+
+func TestEnumerateRefusesHugeTrees(t *testing.T) {
+	tree := fragmentTree(t)
+	// Grow a fake edge list beyond the enumeration limit.
+	big := &viewtree.Tree{Edges: make([]viewtree.Edge, 31)}
+	if err := Enumerate(big, false, func(uint64, *Plan) error { return nil }); err == nil {
+		t.Error("Enumerate accepted 2^31 plans")
+	}
+	count := 0
+	if err := Enumerate(tree, false, func(uint64, *Plan) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Errorf("fragment enumeration visited %d plans, want 4", count)
+	}
+}
+
+func TestGeneratedSQLParsesAndCarriesOrderBy(t *testing.T) {
+	tree := fragmentTree(t)
+	for bits := uint64(0); bits < 4; bits++ {
+		for _, style := range []sqlgen.Style{sqlgen.OuterJoin, sqlgen.OuterUnion} {
+			p := FromBits(tree, bits, false)
+			p.Style = style
+			streams, err := p.Streams()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range streams {
+				sql := s.SQL()
+				if !strings.Contains(sql, "order by") {
+					t.Errorf("stream lacks structural sort: %s", sql)
+				}
+			}
+		}
+	}
+}
+
+func TestWithClauseStyleProducesIdenticalXML(t *testing.T) {
+	db := fig8DB(t)
+	tree := fragmentTree(t)
+	want, _ := runPlan(t, db, Unified(tree, false))
+	for bits := uint64(0); bits < 4; bits++ {
+		for _, reduce := range []bool{false, true} {
+			p := FromBits(tree, bits, reduce)
+			p.Style = sqlgen.WithClause
+			got, _ := runPlan(t, db, p)
+			if got != want {
+				t.Errorf("WITH-style plan bits=%b reduce=%v differs:\n got: %s\nwant: %s",
+					bits, reduce, got, want)
+			}
+		}
+	}
+}
+
+func TestWithClauseSQLShape(t *testing.T) {
+	tree := fragmentTree(t)
+	p := Unified(tree, true)
+	p.Style = sqlgen.WithClause
+	streams, err := p.Streams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := streams[0].SQL()
+	if !strings.Contains(sql, "with w_s1") {
+		t.Errorf("WITH clause missing: %s", sql)
+	}
+	if !strings.Contains(sql, "order by") {
+		t.Errorf("structural sort missing: %s", sql)
+	}
+}
+
+func TestWithClausePermissibility(t *testing.T) {
+	tree := fragmentTree(t)
+	p := Unified(tree, true)
+	p.Style = sqlgen.WithClause
+	caps := tree.Schema.Supports
+	caps.WithClause = false
+	if ok, _ := p.Permissible(caps); ok {
+		t.Error("WITH-style plan permissible on a target without WITH support")
+	}
+	caps.WithClause = true
+	if ok, _ := p.Permissible(caps); !ok {
+		t.Error("WITH-style plan rejected despite full capabilities")
+	}
+}
+
+func TestUnorderedStrategyProducesIdenticalXML(t *testing.T) {
+	// §6's unordered strategy ([9]): no server-side sorts, client-side
+	// in-memory assembly — the document must come out identical.
+	db := tpch.Generate(0.001, 13)
+	q, err := rxl.Parse(rxl.Query1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := viewtree.Build(q, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := runPlan(t, db, Unified(tree, true))
+	for _, bits := range []uint64{0, 0b111010111, 511} {
+		p := FromBits(tree, bits, true)
+		p.Unordered = true
+		streams, err := p.Streams()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range streams {
+			if strings.Contains(s.SQL(), "order by") {
+				t.Fatalf("unordered plan still sorts: %s", s.SQL())
+			}
+		}
+		got, _ := runPlan(t, db, p)
+		if got != want {
+			t.Errorf("unordered plan bits=%b differs from sorted reference", bits)
+		}
+	}
+}
+
+func TestUnorderedSkipsServerSortTime(t *testing.T) {
+	// Without the ORDER BY, the server can stream immediately; with a
+	// spill-inducing budget the query-time difference is the whole sort.
+	db := tpch.Generate(0.004, 13)
+	db.SortBudgetRows = 1000
+	q, err := rxl.Parse(rxl.Query1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := viewtree.Build(q, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := Unified(tree, true)
+	unordered := Unified(tree, true)
+	unordered.Unordered = true
+	var bufA, bufB bytes.Buffer
+	mSorted, err := ExecuteDirect(db, sorted, &bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mUnordered, err := ExecuteDirect(db, unordered, &bufB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Fatal("documents differ")
+	}
+	// Not a strict timing assertion (noise), but the unordered run must
+	// not be dramatically slower on the server side.
+	if mUnordered.QueryTime > 3*mSorted.QueryTime+mSorted.QueryTime {
+		t.Errorf("unordered query time %v vs sorted %v", mUnordered.QueryTime, mSorted.QueryTime)
+	}
+}

@@ -1,0 +1,94 @@
+package rxl
+
+// Canonical view definitions from the paper's evaluation section, expressed
+// in this package's RXL syntax. Query 1 (Fig. 3 / Fig. 6) nests the two
+// one-to-many edges in a chain (supplier → part → order); Query 2 (Fig. 12)
+// is identical except the order block is a child of supplier, so the two
+// '*' edges are parallel. The DTD of Fig. 2 puts name, nation, region and
+// part under supplier; part has a name and pending orders; an order has an
+// orderkey, its customer, and the customer's nation.
+
+// Query1Source is the paper's Query 1 over the TPC-H fragment.
+const Query1Source = `
+from Supplier $s
+construct
+<supplier>
+  <name>$s.name</name>
+  { from Nation $n
+    where $s.nationkey = $n.nationkey
+    construct <nation>$n.name</nation> }
+  { from Nation $n, Region $r
+    where $s.nationkey = $n.nationkey, $n.regionkey = $r.regionkey
+    construct <region>$r.name</region> }
+  { from PartSupp $ps, Part $p
+    where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+    construct
+    <part>
+      <pname>$p.name</pname>
+      { from LineItem $l, Orders $o
+        where $ps.partkey = $l.partkey, $ps.suppkey = $l.suppkey,
+              $l.orderkey = $o.orderkey
+        construct
+        <order>
+          <okey>$o.orderkey</okey>
+          { from Customer $c
+            where $o.custkey = $c.custkey
+            construct <customer>$c.name</customer> }
+          { from Customer $c, Nation $n2
+            where $o.custkey = $c.custkey, $c.nationkey = $n2.nationkey
+            construct <cnation>$n2.name</cnation> }
+        </order> }
+    </part> }
+</supplier>
+`
+
+// Query2Source is the paper's Query 2: the order block hangs off supplier
+// rather than part, making the two '*' edges parallel (unions of outer
+// joins rather than nested outer joins).
+const Query2Source = `
+from Supplier $s
+construct
+<supplier>
+  <name>$s.name</name>
+  { from Nation $n
+    where $s.nationkey = $n.nationkey
+    construct <nation>$n.name</nation> }
+  { from Nation $n, Region $r
+    where $s.nationkey = $n.nationkey, $n.regionkey = $r.regionkey
+    construct <region>$r.name</region> }
+  { from PartSupp $ps, Part $p
+    where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+    construct
+    <part>
+      <pname>$p.name</pname>
+    </part> }
+  { from LineItem $l, Orders $o
+    where $s.suppkey = $l.suppkey, $l.orderkey = $o.orderkey
+    construct
+    <order>
+      <okey>$o.orderkey</okey>
+      { from Customer $c
+        where $o.custkey = $c.custkey
+        construct <customer>$c.name</customer> }
+      { from Customer $c, Nation $n2
+        where $o.custkey = $c.custkey, $c.nationkey = $n2.nationkey
+        construct <cnation>$n2.name</cnation> }
+    </order> }
+</supplier>
+`
+
+// FragmentSource is the boxed simplified query of Fig. 3 / Fig. 4: a
+// supplier with its nation and its parts — the example whose four plans
+// appear in Fig. 5 and whose relations appear in Figs. 9 and 10.
+const FragmentSource = `
+from Supplier $s
+construct
+<supplier>
+  { from Nation $n
+    where $s.nationkey = $n.nationkey
+    construct <nation>$n.name</nation> }
+  { from PartSupp $ps, Part $p
+    where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+    construct <part>$p.name</part> }
+</supplier>
+`

@@ -1,0 +1,119 @@
+package schema
+
+import "strings"
+
+// Functional-dependency reasoning. The paper (§3.5) notes that implication
+// of mixed functional + inclusion dependencies is undecidable [Abiteboul,
+// Hull, Vianu], so SilkRoute deliberately checks FD implication alone,
+// which the Beeri–Bernstein membership algorithm decides in linear time.
+// This file implements that closure over attribute sets qualified by tuple
+// variable (so the same relation scanned twice contributes independent
+// copies of its FDs).
+
+// QualifiedFD is a functional dependency over qualified attributes such as
+// "s.suppkey" — the form view-tree rules work with after tuple variables
+// have been bound to relations.
+type QualifiedFD struct {
+	From []string
+	To   []string
+}
+
+// Closure computes the attribute closure of start under fds: the set of all
+// qualified attributes functionally determined by start. The implementation
+// is the textbook linear-time membership algorithm: keep a per-FD counter
+// of unsatisfied left-hand attributes and a worklist of newly-derived
+// attributes.
+func Closure(start []string, fds []QualifiedFD) map[string]bool {
+	closed := make(map[string]bool, len(start))
+	var work []string
+	add := func(a string) {
+		a = strings.ToLower(a)
+		if !closed[a] {
+			closed[a] = true
+			work = append(work, a)
+		}
+	}
+	for _, a := range start {
+		add(a)
+	}
+
+	// attr → indices of FDs whose LHS contains attr.
+	uses := make(map[string][]int)
+	missing := make([]int, len(fds))
+	for i, fd := range fds {
+		seen := make(map[string]bool, len(fd.From))
+		for _, a := range fd.From {
+			la := strings.ToLower(a)
+			if !seen[la] {
+				seen[la] = true
+				uses[la] = append(uses[la], i)
+			}
+		}
+		// Initial attributes are already on the worklist and will decrement
+		// these counters as they are processed; do not pre-count them here.
+		missing[i] = len(seen)
+		if missing[i] == 0 {
+			for _, b := range fd.To {
+				add(b)
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, i := range uses[a] {
+			missing[i]--
+			if missing[i] == 0 {
+				for _, b := range fds[i].To {
+					add(b)
+				}
+			}
+		}
+	}
+	return closed
+}
+
+// Implies reports whether fds imply the dependency from → to, via closure
+// membership.
+func Implies(fds []QualifiedFD, from, to []string) bool {
+	closed := Closure(from, fds)
+	for _, a := range to {
+		if !closed[strings.ToLower(a)] {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteClosure is an O(n²·|fds|) reference implementation of Closure used
+// by property tests to validate the linear-time algorithm.
+func BruteClosure(start []string, fds []QualifiedFD) map[string]bool {
+	closed := make(map[string]bool)
+	for _, a := range start {
+		closed[strings.ToLower(a)] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			all := true
+			for _, a := range fd.From {
+				if !closed[strings.ToLower(a)] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, b := range fd.To {
+				lb := strings.ToLower(b)
+				if !closed[lb] {
+					closed[lb] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return closed
+}

@@ -1,0 +1,224 @@
+package schema
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"silkroute/internal/value"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	s.MustAddRelation("Supplier", []string{"suppkey"},
+		Column{"suppkey", value.KindInt}, Column{"name", value.KindString},
+		Column{"addr", value.KindString}, Column{"nationkey", value.KindInt})
+	s.MustAddRelation("Nation", []string{"nationkey"},
+		Column{"nationkey", value.KindInt}, Column{"name", value.KindString},
+		Column{"regionkey", value.KindInt})
+	s.MustAddForeignKey(ForeignKey{
+		FromRelation: "Supplier", FromColumns: []string{"nationkey"},
+		ToRelation: "Nation", ToColumns: []string{"nationkey"}, Total: true,
+	})
+	return s
+}
+
+func TestAddRelationValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := s.AddRelation("supplier", nil); err == nil {
+		t.Error("duplicate relation (case-insensitive) accepted")
+	}
+	if _, err := s.AddRelation("Bad", []string{"missing"}, Column{"a", value.KindInt}); err == nil {
+		t.Error("key over missing column accepted")
+	}
+	if _, err := s.AddRelation("Dup", nil, Column{"a", value.KindInt}, Column{"A", value.KindInt}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestRelationLookupCaseInsensitive(t *testing.T) {
+	s := testSchema(t)
+	for _, name := range []string{"Supplier", "supplier", "SUPPLIER"} {
+		if _, ok := s.Relation(name); !ok {
+			t.Errorf("Relation(%q) not found", name)
+		}
+	}
+	if _, ok := s.Relation("Part"); ok {
+		t.Error("Relation(Part) unexpectedly found")
+	}
+}
+
+func TestColumnIndexAndNames(t *testing.T) {
+	s := testSchema(t)
+	r, _ := s.Relation("Supplier")
+	if i := r.ColumnIndex("NAME"); i != 1 {
+		t.Errorf("ColumnIndex(NAME) = %d, want 1", i)
+	}
+	if i := r.ColumnIndex("nope"); i != -1 {
+		t.Errorf("ColumnIndex(nope) = %d, want -1", i)
+	}
+	want := []string{"suppkey", "name", "addr", "nationkey"}
+	got := r.ColumnNames()
+	if len(got) != len(want) {
+		t.Fatalf("ColumnNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ColumnNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIsKey(t *testing.T) {
+	s := testSchema(t)
+	r, _ := s.Relation("Supplier")
+	if !r.IsKey([]string{"suppkey"}) {
+		t.Error("suppkey should be a key")
+	}
+	if !r.IsKey([]string{"name", "SUPPKEY"}) {
+		t.Error("superset of key should be a key (case-insensitive)")
+	}
+	if r.IsKey([]string{"name"}) {
+		t.Error("name alone is not a key")
+	}
+	empty := &Relation{Name: "X", Columns: []Column{{"a", value.KindInt}}}
+	if empty.IsKey([]string{"a"}) {
+		t.Error("relation with no declared key must not report a key")
+	}
+}
+
+func TestForeignKeyValidation(t *testing.T) {
+	s := testSchema(t)
+	bad := []ForeignKey{
+		{FromRelation: "Missing", FromColumns: []string{"x"}, ToRelation: "Nation", ToColumns: []string{"nationkey"}},
+		{FromRelation: "Supplier", FromColumns: []string{"x"}, ToRelation: "Nation", ToColumns: []string{"nationkey"}},
+		{FromRelation: "Supplier", FromColumns: []string{"nationkey"}, ToRelation: "Missing", ToColumns: []string{"x"}},
+		{FromRelation: "Supplier", FromColumns: []string{"nationkey"}, ToRelation: "Nation", ToColumns: []string{"x"}},
+		{FromRelation: "Supplier", FromColumns: []string{"nationkey", "suppkey"}, ToRelation: "Nation", ToColumns: []string{"nationkey"}},
+		{FromRelation: "Supplier", FromColumns: nil, ToRelation: "Nation", ToColumns: nil},
+	}
+	for i, fk := range bad {
+		if err := s.AddForeignKey(fk); err == nil {
+			t.Errorf("bad foreign key %d accepted", i)
+		}
+	}
+}
+
+func TestKeyInducesFD(t *testing.T) {
+	s := testSchema(t)
+	var found bool
+	for _, fd := range s.FDs {
+		if fd.Relation == "Supplier" && len(fd.From) == 1 && fd.From[0] == "suppkey" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("declaring a key did not record the key FD")
+	}
+}
+
+func TestRelationNamesSorted(t *testing.T) {
+	s := testSchema(t)
+	names := s.RelationNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("RelationNames not sorted: %v", names)
+	}
+	if len(names) != 2 || names[0] != "Nation" || names[1] != "Supplier" {
+		t.Errorf("RelationNames = %v", names)
+	}
+}
+
+func TestClosureBasic(t *testing.T) {
+	fds := []QualifiedFD{
+		{From: []string{"s.suppkey"}, To: []string{"s.name", "s.nationkey"}},
+		{From: []string{"s.nationkey"}, To: []string{"n.name"}},
+		{From: []string{"n.name"}, To: []string{"n.regionkey"}},
+	}
+	closed := Closure([]string{"s.suppkey"}, fds)
+	for _, want := range []string{"s.suppkey", "s.name", "s.nationkey", "n.name", "n.regionkey"} {
+		if !closed[want] {
+			t.Errorf("closure missing %q", want)
+		}
+	}
+	if closed["other"] {
+		t.Error("closure contains unrelated attribute")
+	}
+}
+
+func TestClosureCompositeLHS(t *testing.T) {
+	fds := []QualifiedFD{
+		{From: []string{"a", "b"}, To: []string{"c"}},
+		{From: []string{"c"}, To: []string{"d"}},
+	}
+	if Implies(fds, []string{"a"}, []string{"c"}) {
+		t.Error("a alone should not determine c")
+	}
+	if !Implies(fds, []string{"a", "b"}, []string{"d"}) {
+		t.Error("{a,b} should determine d transitively")
+	}
+}
+
+func TestClosureDuplicateLHSAttrs(t *testing.T) {
+	// An FD whose LHS repeats an attribute must not need it "twice".
+	fds := []QualifiedFD{{From: []string{"a", "A", "a"}, To: []string{"b"}}}
+	if !Implies(fds, []string{"a"}, []string{"b"}) {
+		t.Error("duplicate LHS attributes mishandled")
+	}
+}
+
+func TestClosureEmptyLHS(t *testing.T) {
+	// An FD with empty LHS fires unconditionally (degenerate but legal).
+	fds := []QualifiedFD{{From: nil, To: []string{"const"}}}
+	if !Implies(fds, nil, []string{"const"}) {
+		t.Error("empty-LHS FD did not fire")
+	}
+}
+
+func TestImpliesReflexive(t *testing.T) {
+	if !Implies(nil, []string{"x", "y"}, []string{"x"}) {
+		t.Error("reflexivity failed")
+	}
+	if Implies(nil, []string{"x"}, []string{"y"}) {
+		t.Error("unprovable FD implied")
+	}
+}
+
+// TestQuickClosureMatchesBruteForce cross-validates the linear-time closure
+// against the quadratic reference on random small instances.
+func TestQuickClosureMatchesBruteForce(t *testing.T) {
+	attrs := []string{"a", "b", "c", "d", "e", "f"}
+	pick := func(bits uint8) []string {
+		var out []string
+		for i, a := range attrs {
+			if bits&(1<<i) != 0 {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	prop := func(seed []uint16, startBits uint8) bool {
+		if len(seed) > 8 {
+			seed = seed[:8]
+		}
+		var fds []QualifiedFD
+		for _, s := range seed {
+			fds = append(fds, QualifiedFD{From: pick(uint8(s)), To: pick(uint8(s >> 8))})
+		}
+		start := pick(startBits)
+		fast := Closure(start, fds)
+		slow := BruteClosure(start, fds)
+		if len(fast) != len(slow) {
+			return false
+		}
+		for a := range slow {
+			if !fast[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"silkroute/internal/value"
+)
+
+func TestCompareOpSpelling(t *testing.T) {
+	ops := map[CompareOp]string{
+		OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		CompareOp(99): "?",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestJoinKindSpelling(t *testing.T) {
+	if JoinInner.String() != "join" || JoinLeftOuter.String() != "left outer join" {
+		t.Error("join kind spellings wrong")
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	// (a = 1 or b = 2) and c = 3 must keep the parentheses.
+	e := &And{Terms: []Expr{
+		&Or{Terms: []Expr{
+			Eq(Col("t", "a"), IntLit(1)),
+			Eq(Col("t", "b"), IntLit(2)),
+		}},
+		Eq(Col("t", "c"), IntLit(3)),
+	}}
+	s := &Select{
+		Items: []SelectItem{{Expr: Col("t", "a")}},
+		From:  []TableExpr{&BaseTable{Name: "T", Alias: "t"}},
+		Where: e,
+	}
+	printed := Print(s)
+	if !strings.Contains(printed, "(t.a = 1 or t.b = 2) and t.c = 3") {
+		t.Errorf("precedence lost: %s", printed)
+	}
+}
+
+func TestPrintOrOfAndsNeedsNoParens(t *testing.T) {
+	e := &Or{Terms: []Expr{
+		&And{Terms: []Expr{Eq(Col("t", "a"), IntLit(1)), Eq(Col("t", "b"), IntLit(2))}},
+		Eq(Col("t", "c"), IntLit(3)),
+	}}
+	s := &Select{Items: []SelectItem{{Expr: Col("t", "a")}},
+		From: []TableExpr{&BaseTable{Name: "T", Alias: "t"}}, Where: e}
+	printed := Print(s)
+	if !strings.Contains(printed, "t.a = 1 and t.b = 2 or t.c = 3") {
+		t.Errorf("unnecessary parens or wrong shape: %s", printed)
+	}
+}
+
+func TestPrintAliasOmittedWhenSameAsName(t *testing.T) {
+	s := &Select{Items: []SelectItem{{Expr: Col("Supplier", "suppkey")}},
+		From: []TableExpr{&BaseTable{Name: "Supplier", Alias: "Supplier"}}}
+	printed := Print(s)
+	if strings.Contains(printed, "Supplier Supplier") {
+		t.Errorf("redundant alias printed: %s", printed)
+	}
+}
+
+func TestPrintIsNull(t *testing.T) {
+	s := &Select{Items: []SelectItem{{Expr: Col("t", "a")}},
+		From:  []TableExpr{&BaseTable{Name: "T", Alias: "t"}},
+		Where: &And{Terms: []Expr{&IsNull{E: Col("t", "a")}, &IsNull{E: Col("t", "b"), Negate: true}}}}
+	printed := Print(s)
+	if !strings.Contains(printed, "t.a is null") || !strings.Contains(printed, "t.b is not null") {
+		t.Errorf("is-null printing wrong: %s", printed)
+	}
+}
+
+func TestPrintUnionWithOrderBy(t *testing.T) {
+	u := &Union{
+		Branches: []*Select{
+			{Items: []SelectItem{{Expr: IntLit(1), Alias: "k"}}},
+			{Items: []SelectItem{{Expr: IntLit(2), Alias: "k"}}},
+		},
+		OrderBy: []OrderItem{{Expr: &ColumnRef{Column: "k"}}},
+	}
+	printed := Print(u)
+	want := "(select 1 as k) union (select 2 as k) order by k"
+	if printed != want {
+		t.Errorf("Print = %q, want %q", printed, want)
+	}
+}
+
+func TestOutputColumnsEmptyUnion(t *testing.T) {
+	if cols := OutputColumns(&Union{}); cols != nil {
+		t.Errorf("empty union columns = %v", cols)
+	}
+}
+
+func TestHelpersBuildExpectedNodes(t *testing.T) {
+	if NullLit().Val != value.Null {
+		t.Error("NullLit not null")
+	}
+	c := Col("", "x")
+	if c.Table != "" || c.Column != "x" {
+		t.Error("Col wrong")
+	}
+	cmp := Eq(c, IntLit(5)).(*Compare)
+	if cmp.Op != OpEq {
+		t.Error("Eq wrong op")
+	}
+}
+
+func TestConjunctsNil(t *testing.T) {
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) != nil")
+	}
+}

@@ -1,0 +1,165 @@
+package sqlexec
+
+import (
+	"fmt"
+
+	"silkroute/internal/sqlast"
+	"silkroute/internal/table"
+	"silkroute/internal/value"
+)
+
+// compiledExpr is an expression bound to the column positions of a specific
+// relation, so per-row evaluation does no name resolution.
+type compiledExpr interface {
+	eval(row table.Row) value.Value
+}
+
+type colExpr struct{ idx int }
+
+func (e colExpr) eval(row table.Row) value.Value { return row[e.idx] }
+
+type litExpr struct{ v value.Value }
+
+func (e litExpr) eval(table.Row) value.Value { return e.v }
+
+type cmpExpr struct {
+	op   sqlast.CompareOp
+	l, r compiledExpr
+}
+
+func (e cmpExpr) eval(row table.Row) value.Value {
+	lv, rv := e.l.eval(row), e.r.eval(row)
+	if lv.IsNull() || rv.IsNull() {
+		return value.Null // SQL three-valued logic: comparisons with NULL are unknown
+	}
+	c := value.Compare(lv, rv)
+	switch e.op {
+	case sqlast.OpEq:
+		return value.Bool(c == 0)
+	case sqlast.OpNe:
+		return value.Bool(c != 0)
+	case sqlast.OpLt:
+		return value.Bool(c < 0)
+	case sqlast.OpLe:
+		return value.Bool(c <= 0)
+	case sqlast.OpGt:
+		return value.Bool(c > 0)
+	case sqlast.OpGe:
+		return value.Bool(c >= 0)
+	}
+	return value.Null
+}
+
+type andExpr struct{ terms []compiledExpr }
+
+func (e andExpr) eval(row table.Row) value.Value {
+	// SQL AND: false dominates, then unknown, then true.
+	sawNull := false
+	for _, t := range e.terms {
+		v := t.eval(row)
+		switch {
+		case v.IsNull():
+			sawNull = true
+		case v.AsInt() == 0:
+			return value.Bool(false)
+		}
+	}
+	if sawNull {
+		return value.Null
+	}
+	return value.Bool(true)
+}
+
+type orExpr struct{ terms []compiledExpr }
+
+func (e orExpr) eval(row table.Row) value.Value {
+	sawNull := false
+	for _, t := range e.terms {
+		v := t.eval(row)
+		switch {
+		case v.IsNull():
+			sawNull = true
+		case v.AsInt() != 0:
+			return value.Bool(true)
+		}
+	}
+	if sawNull {
+		return value.Null
+	}
+	return value.Bool(false)
+}
+
+type isNullExpr struct {
+	e      compiledExpr
+	negate bool
+}
+
+func (e isNullExpr) eval(row table.Row) value.Value {
+	isNull := e.e.eval(row).IsNull()
+	if e.negate {
+		return value.Bool(!isNull)
+	}
+	return value.Bool(isNull)
+}
+
+// compile binds expr to the given column layout.
+func compile(expr sqlast.Expr, cols []Col) (compiledExpr, error) {
+	switch e := expr.(type) {
+	case *sqlast.ColumnRef:
+		idx, err := resolve(cols, e.Table, e.Column)
+		if err != nil {
+			return nil, err
+		}
+		return colExpr{idx: idx}, nil
+	case *sqlast.Literal:
+		return litExpr{v: e.Val}, nil
+	case *sqlast.Compare:
+		l, err := compile(e.L, cols)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(e.R, cols)
+		if err != nil {
+			return nil, err
+		}
+		return cmpExpr{op: e.Op, l: l, r: r}, nil
+	case *sqlast.And:
+		terms, err := compileAll(e.Terms, cols)
+		if err != nil {
+			return nil, err
+		}
+		return andExpr{terms: terms}, nil
+	case *sqlast.Or:
+		terms, err := compileAll(e.Terms, cols)
+		if err != nil {
+			return nil, err
+		}
+		return orExpr{terms: terms}, nil
+	case *sqlast.IsNull:
+		inner, err := compile(e.E, cols)
+		if err != nil {
+			return nil, err
+		}
+		return isNullExpr{e: inner, negate: e.Negate}, nil
+	default:
+		return nil, fmt.Errorf("sqlexec: unsupported expression %T", expr)
+	}
+}
+
+func compileAll(exprs []sqlast.Expr, cols []Col) ([]compiledExpr, error) {
+	out := make([]compiledExpr, len(exprs))
+	for i, e := range exprs {
+		c, err := compile(e, cols)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// isTrue applies WHERE/ON semantics: rows qualify only when the predicate
+// evaluates to true (not false, not unknown).
+func isTrue(v value.Value) bool {
+	return !v.IsNull() && v.AsInt() != 0
+}

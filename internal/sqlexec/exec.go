@@ -1,0 +1,615 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"silkroute/internal/sqlast"
+	"silkroute/internal/table"
+	"silkroute/internal/value"
+)
+
+// Run executes a query against the catalog and returns the materialized
+// result. The result's columns carry the output names (aliases or source
+// column names); unnamed expression columns have empty names.
+func Run(cat Catalog, q sqlast.Query) (*Rel, error) {
+	return evalQuery(cat, q)
+}
+
+func evalQuery(cat Catalog, q sqlast.Query) (*Rel, error) {
+	switch q := q.(type) {
+	case *sqlast.Select:
+		return evalSelect(cat, q)
+	case *sqlast.Union:
+		return evalUnion(cat, q)
+	case *sqlast.With:
+		return evalWith(cat, q)
+	default:
+		return nil, fmt.Errorf("sqlexec: unsupported query %T", q)
+	}
+}
+
+// cteCatalog overlays materialized common table expressions on a catalog.
+// Each CTE is evaluated exactly once, in order, and later CTEs and the
+// body may scan earlier ones by name.
+type cteCatalog struct {
+	Catalog
+	ctes map[string]*Rel
+}
+
+// LookupRel resolves a CTE by name.
+func (c cteCatalog) LookupRel(name string) (*Rel, bool) {
+	r, ok := c.ctes[strings.ToLower(name)]
+	return r, ok
+}
+
+// SortMemoryRows forwards the underlying catalog's budget.
+func (c cteCatalog) SortMemoryRows() int {
+	if sb, ok := c.Catalog.(SortBudget); ok {
+		return sb.SortMemoryRows()
+	}
+	return 0
+}
+
+// relProvider is implemented by catalogs that can resolve named
+// intermediate relations (CTEs) in addition to stored tables.
+type relProvider interface {
+	LookupRel(name string) (*Rel, bool)
+}
+
+func evalWith(cat Catalog, w *sqlast.With) (*Rel, error) {
+	overlay := cteCatalog{Catalog: cat, ctes: make(map[string]*Rel, len(w.CTEs))}
+	for _, cte := range w.CTEs {
+		name := strings.ToLower(cte.Name)
+		if _, dup := overlay.ctes[name]; dup {
+			return nil, fmt.Errorf("sqlexec: duplicate CTE %q", cte.Name)
+		}
+		r, err := evalQuery(overlay, cte.Query)
+		if err != nil {
+			return nil, fmt.Errorf("sqlexec: CTE %s: %w", cte.Name, err)
+		}
+		overlay.ctes[name] = r
+	}
+	return evalQuery(overlay, w.Body)
+}
+
+func evalUnion(cat Catalog, u *sqlast.Union) (*Rel, error) {
+	if len(u.Branches) == 0 {
+		return nil, fmt.Errorf("sqlexec: union with no branches")
+	}
+	var out *Rel
+	for i, b := range u.Branches {
+		r, err := evalSelect(cat, b)
+		if err != nil {
+			return nil, fmt.Errorf("sqlexec: union branch %d: %w", i, err)
+		}
+		if out == nil {
+			out = r
+			continue
+		}
+		if len(r.Cols) != len(out.Cols) {
+			return nil, fmt.Errorf("sqlexec: union branch %d has %d columns, first branch has %d",
+				i, len(r.Cols), len(out.Cols))
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+	}
+	if err := sortRel(cat, out, u.OrderBy, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func evalSelect(cat Catalog, s *sqlast.Select) (*Rel, error) {
+	src, err := evalFromWhere(cat, s.From, s.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// Project.
+	exprs := make([]compiledExpr, len(s.Items))
+	outCols := make([]Col, len(s.Items))
+	for i, item := range s.Items {
+		ce, err := compile(item.Expr, src.Cols)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = ce
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*sqlast.ColumnRef); ok {
+				name = cr.Column
+			}
+		}
+		outCols[i] = Col{Name: name}
+	}
+	out := &Rel{Cols: outCols, Rows: make([]table.Row, len(src.Rows))}
+	for ri, row := range src.Rows {
+		prow := make(table.Row, len(exprs))
+		for i, e := range exprs {
+			prow[i] = e.eval(row)
+		}
+		out.Rows[ri] = prow
+	}
+	if err := sortRel(cat, out, s.OrderBy, src); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sortRel sorts out by the ORDER BY items. Keys resolve against the output
+// columns first (aliases such as L1, L2); a key that does not resolve there
+// falls back to the pre-projection source relation, whose rows parallel the
+// output rows one-to-one. Sorts larger than the catalog's memory budget
+// spill to disk through the external merge sort.
+func sortRel(cat Catalog, out *Rel, order []sqlast.OrderItem, src *Rel) error {
+	if len(order) == 0 {
+		return nil
+	}
+	type keyFn struct {
+		expr  compiledExpr
+		onSrc bool
+	}
+	keys := make([]keyFn, len(order))
+	for i, item := range order {
+		ce, outErr := compile(item.Expr, out.Cols)
+		if outErr == nil {
+			keys[i] = keyFn{expr: ce}
+			continue
+		}
+		if src == nil {
+			return fmt.Errorf("sqlexec: order by: %w", outErr)
+		}
+		ce, err := compile(item.Expr, src.Cols)
+		if err != nil {
+			return fmt.Errorf("sqlexec: order by: %w", err)
+		}
+		keys[i] = keyFn{expr: ce, onSrc: true}
+	}
+	keyed := make([]keyedRow, len(out.Rows))
+	for i := range out.Rows {
+		kv := make([]value.Value, len(keys))
+		for ki, k := range keys {
+			if k.onSrc {
+				kv[ki] = k.expr.eval(src.Rows[i])
+			} else {
+				kv[ki] = k.expr.eval(out.Rows[i])
+			}
+		}
+		keyed[i] = keyedRow{key: kv, row: out.Rows[i]}
+	}
+	budget := 0
+	if sb, ok := cat.(SortBudget); ok {
+		budget = sb.SortMemoryRows()
+	}
+	sorted, err := sortKeyed(keyed, budget)
+	if err != nil {
+		return err
+	}
+	for i := range sorted {
+		out.Rows[i] = sorted[i].row
+	}
+	return nil
+}
+
+// evalFromWhere evaluates a comma-separated FROM list under a WHERE clause.
+// Single-relation conjuncts filter early; equality conjuncts between two
+// relations become hash-join keys chosen greedily; everything left over is
+// applied as a residual filter. This mirrors what any real target RDBMS
+// does with the paper's generated queries — without it, comma joins over
+// TPC-H would be quadratic cross products.
+func evalFromWhere(cat Catalog, from []sqlast.TableExpr, where sqlast.Expr) (*Rel, error) {
+	if len(from) == 0 {
+		// A FROM-less select produces one row so literal selects work.
+		r := &Rel{Rows: []table.Row{{}}}
+		if where != nil {
+			return nil, fmt.Errorf("sqlexec: where clause without from clause")
+		}
+		return r, nil
+	}
+	rels := make([]*Rel, len(from))
+	for i, te := range from {
+		r, err := evalTable(cat, te)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+
+	conjs := sqlast.Conjuncts(where)
+	used := make([]bool, len(conjs))
+
+	// Pre-filter conjuncts whose column references all live in a single
+	// relation. Ownership is decided against the concatenation of all
+	// relations' columns so that ambiguous references are never pushed.
+	allCols := make([]Col, 0)
+	bounds := make([]int, 0, len(rels)+1)
+	for _, r := range rels {
+		bounds = append(bounds, len(allCols))
+		allCols = append(allCols, r.Cols...)
+	}
+	bounds = append(bounds, len(allCols))
+	owner := func(idx int) int {
+		for i := 0; i < len(rels); i++ {
+			if idx >= bounds[i] && idx < bounds[i+1] {
+				return i
+			}
+		}
+		return -1
+	}
+	for ci, c := range conjs {
+		own := -1
+		ok := true
+		for _, cr := range collectRefs(c) {
+			idx, err := resolve(allCols, cr.Table, cr.Column)
+			if err != nil {
+				ok = false // unknown or ambiguous: leave for the residual pass
+				break
+			}
+			o := owner(idx)
+			if own == -1 {
+				own = o
+			} else if own != o {
+				ok = false // spans relations: a join predicate, not a filter
+				break
+			}
+		}
+		if ok && own >= 0 {
+			ce, err := compile(c, rels[own].Cols)
+			if err != nil {
+				continue
+			}
+			rels[own] = filterRel(rels[own], ce)
+			used[ci] = true
+		}
+	}
+
+	// Greedily hash-join relations connected by equality conjuncts.
+	joined := rels[0]
+	remaining := rels[1:]
+	for len(remaining) > 0 {
+		best := -1
+		var keyConjs []int
+		for ri, r := range remaining {
+			var ks []int
+			for ci, c := range conjs {
+				if used[ci] {
+					continue
+				}
+				if isEquiBetween(c, joined, r) {
+					ks = append(ks, ci)
+				}
+			}
+			if len(ks) > 0 {
+				best = ri
+				keyConjs = ks
+				break
+			}
+		}
+		if best < 0 {
+			// No join predicate connects: cross product with the next one.
+			best = 0
+		}
+		right := remaining[best]
+		remaining = append(remaining[:best:best], remaining[best+1:]...)
+		var on sqlast.Expr
+		if len(keyConjs) > 0 {
+			terms := make([]sqlast.Expr, 0, len(keyConjs))
+			for _, ci := range keyConjs {
+				terms = append(terms, conjs[ci])
+				used[ci] = true
+			}
+			on = sqlast.MakeAnd(terms)
+		}
+		var err error
+		joined, err = evalJoinRel(joined, right, sqlast.JoinInner, on)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Residual conjuncts.
+	var residual []sqlast.Expr
+	for ci, c := range conjs {
+		if !used[ci] {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		ce, err := compile(sqlast.MakeAnd(residual), joined.Cols)
+		if err != nil {
+			return nil, err
+		}
+		joined = filterRel(joined, ce)
+	}
+	return joined, nil
+}
+
+// collectRefs gathers every column reference in an expression.
+func collectRefs(e sqlast.Expr) []*sqlast.ColumnRef {
+	var out []*sqlast.ColumnRef
+	var walk func(sqlast.Expr)
+	walk = func(e sqlast.Expr) {
+		switch e := e.(type) {
+		case *sqlast.ColumnRef:
+			out = append(out, e)
+		case *sqlast.Compare:
+			walk(e.L)
+			walk(e.R)
+		case *sqlast.And:
+			for _, t := range e.Terms {
+				walk(t)
+			}
+		case *sqlast.Or:
+			for _, t := range e.Terms {
+				walk(t)
+			}
+		case *sqlast.IsNull:
+			walk(e.E)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// filterRel returns a new relation holding the rows of r that satisfy pred.
+// It never mutates r: base-table relations share the stored row slice.
+func filterRel(r *Rel, pred compiledExpr) *Rel {
+	out := &Rel{Cols: r.Cols, Rows: make([]table.Row, 0, len(r.Rows)/4+1)}
+	for _, row := range r.Rows {
+		if isTrue(pred.eval(row)) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+func evalTable(cat Catalog, te sqlast.TableExpr) (*Rel, error) {
+	switch te := te.(type) {
+	case *sqlast.BaseTable:
+		alias := te.Alias
+		if alias == "" {
+			alias = te.Name
+		}
+		// CTEs shadow stored tables within their WITH scope.
+		if rp, ok := cat.(relProvider); ok {
+			if r, found := rp.LookupRel(te.Name); found {
+				cols := make([]Col, len(r.Cols))
+				for i, c := range r.Cols {
+					cols[i] = Col{Qual: alias, Name: c.Name}
+				}
+				return &Rel{Cols: cols, Rows: r.Rows}, nil
+			}
+		}
+		t, ok := cat.Lookup(te.Name)
+		if !ok {
+			return nil, fmt.Errorf("sqlexec: unknown table %q", te.Name)
+		}
+		cols := make([]Col, len(t.Rel.Columns))
+		for i, c := range t.Rel.Columns {
+			cols[i] = Col{Qual: alias, Name: c.Name}
+		}
+		return &Rel{Cols: cols, Rows: t.Rows}, nil
+	case *sqlast.Derived:
+		inner, err := evalQuery(cat, te.Query)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]Col, len(inner.Cols))
+		for i, c := range inner.Cols {
+			cols[i] = Col{Qual: te.Alias, Name: c.Name}
+		}
+		return &Rel{Cols: cols, Rows: inner.Rows}, nil
+	case *sqlast.Join:
+		l, err := evalTable(cat, te.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalTable(cat, te.R)
+		if err != nil {
+			return nil, err
+		}
+		return evalJoinRel(l, r, te.Kind, te.On)
+	default:
+		return nil, fmt.Errorf("sqlexec: unsupported table expression %T", te)
+	}
+}
+
+// isEquiBetween reports whether c is "a = b" with one side in l and the
+// other in r.
+func isEquiBetween(c sqlast.Expr, l, r *Rel) bool {
+	cmp, ok := c.(*sqlast.Compare)
+	if !ok || cmp.Op != sqlast.OpEq {
+		return false
+	}
+	lc, lok := cmp.L.(*sqlast.ColumnRef)
+	rc, rok := cmp.R.(*sqlast.ColumnRef)
+	if !lok || !rok {
+		return false
+	}
+	inL := func(cr *sqlast.ColumnRef) bool { _, err := resolve(l.Cols, cr.Table, cr.Column); return err == nil }
+	inR := func(cr *sqlast.ColumnRef) bool { _, err := resolve(r.Cols, cr.Table, cr.Column); return err == nil }
+	return inL(lc) && inR(rc) && !inR(lc) && !inL(rc) ||
+		inR(lc) && inL(rc) && !inL(lc) && !inR(rc)
+}
+
+// evalJoinRel joins two materialized relations. The ON condition is
+// decomposed into disjuncts (the paper's unified plans join on
+// "(L2=1 and …) or (L2=2 and …)"); each disjunct contributes matches via a
+// hash join when it contains an equi-conjunct, or a filtered nested loop
+// otherwise. Matches from different disjuncts are deduplicated so the join
+// behaves as a single logical predicate.
+func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) {
+	outCols := concatCols(l.Cols, r.Cols)
+	matches := make([][]int, len(l.Rows)) // left row index → right row indices in match order
+	if on == nil {
+		// Cross product.
+		all := make([]int, len(r.Rows))
+		for i := range all {
+			all[i] = i
+		}
+		for i := range matches {
+			matches[i] = all
+		}
+	} else {
+		var disjuncts []sqlast.Expr
+		if or, ok := on.(*sqlast.Or); ok {
+			disjuncts = or.Terms
+		} else {
+			disjuncts = []sqlast.Expr{on}
+		}
+		seen := make(map[int64]bool)
+		for _, d := range disjuncts {
+			if err := joinDisjunct(l, r, d, outCols, matches, seen); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := &Rel{Cols: outCols}
+	nulls := make(table.Row, len(r.Cols))
+	for li, lrow := range l.Rows {
+		rs := matches[li]
+		if len(rs) == 0 {
+			if kind == sqlast.JoinLeftOuter {
+				out.Rows = append(out.Rows, concatRow(lrow, nulls))
+			}
+			continue
+		}
+		// Emit matches in right-relation order for determinism.
+		sorted := append([]int(nil), rs...)
+		sort.Ints(sorted)
+		for _, ri := range sorted {
+			out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
+		}
+	}
+	return out, nil
+}
+
+// joinDisjunct adds the (left, right) index pairs satisfying one ON
+// disjunct to matches, skipping pairs already recorded in seen.
+func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen map[int64]bool) error {
+	conjs := sqlast.Conjuncts(d)
+	var leftKeys, rightKeys []compiledExpr
+	var leftPred, rightPred []compiledExpr
+	var residual []compiledExpr
+	for _, c := range conjs {
+		if cmp, ok := c.(*sqlast.Compare); ok && cmp.Op == sqlast.OpEq {
+			lc, lok := cmp.L.(*sqlast.ColumnRef)
+			rc, rok := cmp.R.(*sqlast.ColumnRef)
+			if lok && rok {
+				li1, e1 := resolve(l.Cols, lc.Table, lc.Column)
+				ri1, e2 := resolve(r.Cols, rc.Table, rc.Column)
+				if e1 == nil && e2 == nil {
+					leftKeys = append(leftKeys, colExpr{idx: li1})
+					rightKeys = append(rightKeys, colExpr{idx: ri1})
+					continue
+				}
+				ri2, e3 := resolve(r.Cols, lc.Table, lc.Column)
+				li2, e4 := resolve(l.Cols, rc.Table, rc.Column)
+				if e3 == nil && e4 == nil {
+					leftKeys = append(leftKeys, colExpr{idx: li2})
+					rightKeys = append(rightKeys, colExpr{idx: ri2})
+					continue
+				}
+			}
+		}
+		// Not a cross-relation equality: classify as one-sided or residual.
+		if ce, err := compile(c, l.Cols); err == nil {
+			leftPred = append(leftPred, ce)
+			continue
+		}
+		if ce, err := compile(c, r.Cols); err == nil {
+			rightPred = append(rightPred, ce)
+			continue
+		}
+		ce, err := compile(c, outCols)
+		if err != nil {
+			return err
+		}
+		residual = append(residual, ce)
+	}
+
+	passes := func(preds []compiledExpr, row table.Row) bool {
+		for _, p := range preds {
+			if !isTrue(p.eval(row)) {
+				return false
+			}
+		}
+		return true
+	}
+	record := func(li, ri int, lrow, rrow table.Row) {
+		if len(residual) > 0 {
+			combined := concatRow(lrow, rrow)
+			if !passes(residual, combined) {
+				return
+			}
+		}
+		key := int64(li)<<32 | int64(ri)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		matches[li] = append(matches[li], ri)
+	}
+
+	if len(leftKeys) > 0 {
+		// Hash join: build on the right, probe from the left. NULL keys
+		// never match per SQL equality semantics.
+		ht := make(map[string][]int)
+		for ri, rrow := range r.Rows {
+			if !passes(rightPred, rrow) {
+				continue
+			}
+			key, ok := hashKey(rightKeys, rrow)
+			if !ok {
+				continue
+			}
+			ht[key] = append(ht[key], ri)
+		}
+		for li, lrow := range l.Rows {
+			if !passes(leftPred, lrow) {
+				continue
+			}
+			key, ok := hashKey(leftKeys, lrow)
+			if !ok {
+				continue
+			}
+			for _, ri := range ht[key] {
+				record(li, ri, lrow, r.Rows[ri])
+			}
+		}
+		return nil
+	}
+
+	// Nested loop over pre-filtered sides.
+	var rightIdx []int
+	for ri, rrow := range r.Rows {
+		if passes(rightPred, rrow) {
+			rightIdx = append(rightIdx, ri)
+		}
+	}
+	for li, lrow := range l.Rows {
+		if !passes(leftPred, lrow) {
+			continue
+		}
+		for _, ri := range rightIdx {
+			record(li, ri, lrow, r.Rows[ri])
+		}
+	}
+	return nil
+}
+
+// hashKey builds the composite hash key of a row under the given key
+// expressions; ok is false when any key value is NULL.
+func hashKey(keys []compiledExpr, row table.Row) (string, bool) {
+	var b strings.Builder
+	for _, k := range keys {
+		v := k.eval(row)
+		if v.IsNull() {
+			return "", false
+		}
+		b.WriteString(v.HashKey())
+	}
+	return b.String(), true
+}

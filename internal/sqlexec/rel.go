@@ -1,0 +1,91 @@
+// Package sqlexec executes the SQL subset against in-memory tables.
+//
+// The executor materializes intermediate results rather than pipelining.
+// That is a faithful model of the paper's setting: every query SilkRoute
+// generates ends in the structural ORDER BY, and a sort forces the server
+// to consume its whole input before emitting the first row — which is
+// exactly why the paper's "query-only time" (time to first tuple) tracks
+// full server-side execution time.
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"silkroute/internal/table"
+)
+
+// Catalog resolves base-table names. The engine implements it; the
+// indirection keeps sqlexec independent of the catalog's representation.
+type Catalog interface {
+	Lookup(name string) (*table.Table, bool)
+}
+
+// Col is one column of an intermediate relation: an optional qualifier
+// (table alias) and a name.
+type Col struct {
+	Qual string
+	Name string
+}
+
+// String renders the column for error messages.
+func (c Col) String() string {
+	if c.Qual == "" {
+		return c.Name
+	}
+	return c.Qual + "." + c.Name
+}
+
+// Rel is a materialized intermediate relation.
+type Rel struct {
+	Cols []Col
+	Rows []table.Row
+}
+
+// resolve finds the index of the column referenced by (qual, name).
+// Qualified references must match both parts; unqualified references must
+// match a unique column name. Columns with empty names (unnamed
+// expressions) are never matched.
+func resolve(cols []Col, qual, name string) (int, error) {
+	found := -1
+	for i, c := range cols {
+		if c.Name == "" || !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(c.Qual, qual) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sqlexec: ambiguous column reference %q (matches %s and %s)",
+				ref(qual, name), cols[found], c)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sqlexec: unknown column %q", ref(qual, name))
+	}
+	return found, nil
+}
+
+func ref(qual, name string) string {
+	if qual == "" {
+		return name
+	}
+	return qual + "." + name
+}
+
+// concatCols returns the column list of a join result.
+func concatCols(l, r []Col) []Col {
+	out := make([]Col, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// concatRow returns l ++ r as a fresh row.
+func concatRow(l, r table.Row) table.Row {
+	out := make(table.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}

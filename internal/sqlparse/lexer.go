@@ -1,0 +1,135 @@
+// Package sqlparse parses the SQL subset of package sqlast. The parser is a
+// hand-written recursive-descent parser over a simple lexer; it exists so
+// the target engine presents the same interface as a real RDBMS — it
+// receives SQL *text* from the middleware, exactly as the paper's
+// SilkRoute client ships SQL over JDBC.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single punctuation or operator: , . ( ) = <> < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifier (lowercased keywords compare via equalKeyword), number, string body, or punct
+	pos  int    // byte offset, for error messages
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; SQL statements are small compared
+// to the data they produce, so there is no need to stream.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		l.pos++ // first digit or minus
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'':
+		var b strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sqlparse: unterminated string literal at offset %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped quote
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokPunct, text: "<>", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlparse: unexpected '!' at offset %d", start)
+	case strings.IndexByte(",.()=*", c) >= 0:
+		l.pos++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// isKeyword reports whether tok is the given keyword, case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (t token) isPunct(p string) bool {
+	return t.kind == tokPunct && t.text == p
+}

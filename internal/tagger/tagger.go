@@ -1,0 +1,389 @@
+// Package tagger implements SilkRoute's integration-and-tagging stage
+// (§3.3 of the paper): it merges the sorted tuple streams of a partitioned
+// plan into document order, re-nests the tuples, and emits the XML
+// document.
+//
+// The algorithm is single-pass and constant-space: its memory footprint
+// depends only on the number of view-tree nodes and Skolem-term variables
+// (one buffered row and one remembered instance per stream, plus an open-
+// element stack bounded by the tree depth), never on the database size.
+// That property is what lets SilkRoute materialize XML views larger than
+// main memory.
+package tagger
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"silkroute/internal/sqlgen"
+	"silkroute/internal/value"
+	"silkroute/internal/viewtree"
+)
+
+// Source yields the sorted rows of one tuple stream.
+type Source interface {
+	// Next returns the next row; ok is false at end of stream.
+	Next() ([]value.Value, bool, error)
+}
+
+// Input pairs one generated stream's metadata with its row source.
+type Input struct {
+	Meta *sqlgen.Stream
+	Rows Source
+}
+
+// SliceSource adapts an in-memory row slice to Source, for tests and for
+// plans executed without the wire protocol.
+type SliceSource struct {
+	RowsData [][]value.Value
+	pos      int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() ([]value.Value, bool, error) {
+	if s.pos >= len(s.RowsData) {
+		return nil, false, nil
+	}
+	r := s.RowsData[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// keyPos is one position of the global structural key
+// L1,V(1,*),L2,V(2,*),…
+type keyPos struct {
+	isL   bool
+	level int
+	ref   viewtree.VarRef
+}
+
+// instance is one XML node instance reconstructed from a row.
+type instance struct {
+	node *viewtree.Node
+	// key is the instance's global structural key vector.
+	key []value.Value
+	// vals maps the node's args to this instance's values.
+	vals map[viewtree.VarRef]value.Value
+}
+
+// compareKeys orders instances in document order.
+func compareKeys(a, b []value.Value) int {
+	for i := range a {
+		va, vb := a[i], b[i]
+		switch {
+		case va.IsNull() && vb.IsNull():
+			continue
+		case va.IsNull():
+			return -1
+		case vb.IsNull():
+			return 1
+		}
+		if c := value.Compare(va, vb); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Tagger merges partitioned tuple streams and writes the XML document.
+type Tagger struct {
+	tree *viewtree.Tree
+	// Wrapper, when non-empty, wraps the whole output in one root element
+	// so the result is a well-formed document even when the view's root
+	// template produces many instances.
+	Wrapper string
+
+	positions []keyPos
+	posIndex  map[viewtree.VarRef]int // var ref → key position
+	lIndex    []int                   // level (1-based) → key position
+}
+
+// New builds a tagger for a view tree.
+func New(t *viewtree.Tree) *Tagger {
+	tg := &Tagger{tree: t, Wrapper: "document", posIndex: make(map[viewtree.VarRef]int)}
+	depth := t.MaxDepth()
+	tg.lIndex = make([]int, depth+1)
+	for lvl := 1; lvl <= depth; lvl++ {
+		tg.lIndex[lvl] = len(tg.positions)
+		tg.positions = append(tg.positions, keyPos{isL: true, level: lvl})
+		for _, v := range t.VarsAtLevel(lvl) {
+			tg.posIndex[v.Ref] = len(tg.positions)
+			tg.positions = append(tg.positions, keyPos{ref: v.Ref})
+		}
+	}
+	return tg
+}
+
+// streamState is the per-stream cursor: the row decoder and the pending
+// instances of the current row.
+type streamState struct {
+	in      Input
+	colIdx  map[string]int                   // column name → row index
+	lCols   map[int]int                      // level → row index of dynamic L column
+	last    map[*viewtree.Node][]value.Value // node → last emitted key
+	pending []*instance
+	done    bool
+}
+
+// WriteXML merges the streams and writes the document to w.
+func (tg *Tagger) WriteXML(w io.Writer, inputs []Input) error {
+	states := make([]*streamState, len(inputs))
+	for i, in := range inputs {
+		st := &streamState{
+			in:     in,
+			colIdx: make(map[string]int),
+			lCols:  make(map[int]int),
+			last:   make(map[*viewtree.Node][]value.Value),
+		}
+		for ci, c := range in.Meta.Cols {
+			st.colIdx[c.Name] = ci
+			if c.IsL {
+				st.lCols[c.Level] = ci
+			}
+		}
+		states[i] = st
+		if err := tg.advance(st); err != nil {
+			return err
+		}
+	}
+
+	bw := newXMLWriter(w)
+	if tg.Wrapper != "" {
+		bw.open(tg.Wrapper)
+	}
+	var stack []*instance
+	closeTo := func(depth int) {
+		for len(stack) > depth {
+			bw.close(stack[len(stack)-1].node.Tag)
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	for {
+		// Pick the stream whose head instance is smallest in document
+		// order.
+		best := -1
+		for i, st := range states {
+			if len(st.pending) == 0 {
+				continue
+			}
+			if best < 0 || compareKeys(st.pending[0].key, states[best].pending[0].key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st := states[best]
+		inst := st.pending[0]
+		st.pending = st.pending[1:]
+		if len(st.pending) == 0 {
+			if err := tg.advance(st); err != nil {
+				return err
+			}
+		}
+
+		d := inst.node.Level()
+		closeTo(d - 1)
+		if len(stack) == d-1 && d > 1 {
+			if top := stack[len(stack)-1]; top.node != inst.node.Parent {
+				return fmt.Errorf("tagger: instance of <%s> arrived under <%s>, want <%s> (streams out of order?)",
+					inst.node.Tag, top.node.Tag, inst.node.Parent.Tag)
+			}
+		}
+		if d > 1 && len(stack) < d-1 {
+			return fmt.Errorf("tagger: instance of <%s> at depth %d arrived with only %d open ancestors",
+				inst.node.Tag, d, len(stack))
+		}
+		bw.open(inst.node.Tag)
+		for _, c := range inst.node.Contents {
+			if c.IsConst {
+				bw.text(c.Const.Text())
+			} else {
+				bw.text(inst.vals[c.Ref].Text())
+			}
+		}
+		stack = append(stack, inst)
+	}
+	closeTo(0)
+	if tg.Wrapper != "" {
+		bw.close(tg.Wrapper)
+	}
+	return bw.flush()
+}
+
+// advance reads rows from a stream until at least one new instance appears
+// (or the stream ends), expanding each row into its node instances and
+// deduplicating against the previously emitted ones.
+func (tg *Tagger) advance(st *streamState) error {
+	if st.done {
+		return nil
+	}
+	for {
+		row, ok, err := st.in.Rows.Next()
+		if err != nil {
+			return fmt.Errorf("tagger: reading stream: %w", err)
+		}
+		if !ok {
+			st.done = true
+			return nil
+		}
+		tg.expandRow(st, row)
+		if len(st.pending) > 0 {
+			return nil
+		}
+	}
+}
+
+// expandRow turns one row into the instances of all node groups present in
+// the row, in document order, skipping instances already emitted.
+func (tg *Tagger) expandRow(st *streamState, row []value.Value) {
+	var instances []*instance
+	var walk func(g *viewtree.Group)
+	walk = func(g *viewtree.Group) {
+		for _, m := range g.Members {
+			if inst := tg.makeInstance(st, m, row); inst != nil {
+				instances = append(instances, inst)
+			}
+		}
+		for _, ge := range g.Children {
+			// A child branch is present when its dynamic L column holds
+			// the branch ordinal; an outer-join null means no child.
+			lvl := ge.Child.Root.Level()
+			ci, ok := st.lCols[lvl]
+			if !ok {
+				continue // no L column: branch can never be attributed
+			}
+			lv := row[ci]
+			if lv.IsNull() || lv.Kind() != value.KindInt || lv.AsInt() != int64(ge.Child.Root.Ordinal()) {
+				continue
+			}
+			walk(ge.Child)
+		}
+	}
+	walk(st.in.Meta.Comp.Root)
+
+	// Document order within the row, then dedupe against history.
+	sortInstances(instances)
+	for _, inst := range instances {
+		if prev, seen := st.last[inst.node]; seen && compareKeys(prev, inst.key) == 0 {
+			continue
+		}
+		st.last[inst.node] = inst.key
+		st.pending = append(st.pending, inst)
+	}
+}
+
+// makeInstance extracts one node's instance from a row.
+func (tg *Tagger) makeInstance(st *streamState, n *viewtree.Node, row []value.Value) *instance {
+	inst := &instance{
+		node: n,
+		key:  make([]value.Value, len(tg.positions)),
+		vals: make(map[viewtree.VarRef]value.Value, len(n.KeyArgs)+len(n.ContentArgs)),
+	}
+	for _, a := range n.Args() {
+		ci, ok := st.colIdx[mangledName(a)]
+		if !ok {
+			continue
+		}
+		inst.vals[a] = row[ci]
+	}
+	for i := 0; i < n.Level(); i++ {
+		inst.key[tg.lIndex[i+1]] = value.Int(int64(n.SFI[i]))
+	}
+	for a, v := range inst.vals {
+		if pi, ok := tg.posIndex[a]; ok {
+			inst.key[pi] = v
+		}
+	}
+	return inst
+}
+
+// mangledName mirrors sqlgen's column naming (kept in sync by tests).
+func mangledName(r viewtree.VarRef) string {
+	return "v_" + lower(r.Var) + "_" + lower(r.Field)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func sortInstances(insts []*instance) {
+	// Insertion sort: rows expand to at most a handful of instances.
+	for i := 1; i < len(insts); i++ {
+		for j := i; j > 0 && compareKeys(insts[j].key, insts[j-1].key) < 0; j-- {
+			insts[j], insts[j-1] = insts[j-1], insts[j]
+		}
+	}
+}
+
+// xmlWriter emits compact, escaped XML.
+type xmlWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func newXMLWriter(w io.Writer) *xmlWriter {
+	return &xmlWriter{w: w, buf: make([]byte, 0, 64<<10)}
+}
+
+func (x *xmlWriter) open(tag string) {
+	x.buf = append(x.buf, '<')
+	x.buf = append(x.buf, tag...)
+	x.buf = append(x.buf, '>')
+	x.maybeFlush()
+}
+
+func (x *xmlWriter) close(tag string) {
+	x.buf = append(x.buf, '<', '/')
+	x.buf = append(x.buf, tag...)
+	x.buf = append(x.buf, '>')
+	x.maybeFlush()
+}
+
+func (x *xmlWriter) text(s string) {
+	if s == "" {
+		return
+	}
+	// xml.EscapeText escapes &, <, >, quotes, and control characters.
+	var sink escapeSink
+	sink.buf = x.buf
+	_ = xml.EscapeText(&sink, []byte(s))
+	x.buf = sink.buf
+	x.maybeFlush()
+}
+
+type escapeSink struct{ buf []byte }
+
+func (e *escapeSink) Write(p []byte) (int, error) {
+	e.buf = append(e.buf, p...)
+	return len(p), nil
+}
+
+func (x *xmlWriter) maybeFlush() {
+	if len(x.buf) >= 32<<10 {
+		x.flushBuf()
+	}
+}
+
+func (x *xmlWriter) flushBuf() {
+	if x.err != nil || len(x.buf) == 0 {
+		x.buf = x.buf[:0]
+		return
+	}
+	_, x.err = x.w.Write(x.buf)
+	x.buf = x.buf[:0]
+}
+
+func (x *xmlWriter) flush() error {
+	x.flushBuf()
+	return x.err
+}

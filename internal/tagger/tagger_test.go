@@ -1,0 +1,308 @@
+package tagger
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/rxl"
+	"silkroute/internal/sqlgen"
+	"silkroute/internal/tpch"
+	"silkroute/internal/value"
+	"silkroute/internal/viewtree"
+)
+
+// buildStreams partitions and generates SQL for a query, executes each
+// stream against db, and returns tagger inputs backed by slices.
+func buildStreams(t *testing.T, db *engine.Database, src string, keepAll bool, reduce bool) (*viewtree.Tree, []Input) {
+	t.Helper()
+	q, err := rxl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := viewtree.Build(q, db.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := tree.NoEdges()
+	if keepAll {
+		keep = tree.AllEdges()
+	}
+	comps, err := tree.Partition(keep, reduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := sqlgen.Generate(tree, comps, sqlgen.OuterJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]Input, len(streams))
+	for i, s := range streams {
+		res, err := db.ExecuteQuery(s.Query)
+		if err != nil {
+			t.Fatalf("stream %d (%s): %v", i, s.SQL(), err)
+		}
+		var rows [][]value.Value
+		for {
+			row, ok := res.Next()
+			if !ok {
+				break
+			}
+			rows = append(rows, row)
+		}
+		inputs[i] = Input{Meta: s, Rows: &SliceSource{RowsData: rows}}
+	}
+	return tree, inputs
+}
+
+func tinyDB(t *testing.T) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase(tpch.Schema())
+	sup := db.MustTable("Supplier")
+	sup.MustInsert(value.Int(1), value.String("A & B <Metals>"), value.String("x"), value.Int(1))
+	sup.MustInsert(value.Int(2), value.String("NoParts Co"), value.String("y"), value.Int(2))
+	nat := db.MustTable("Nation")
+	nat.MustInsert(value.Int(1), value.String("USA"), value.Int(1))
+	nat.MustInsert(value.Int(2), value.String("Spain"), value.Int(1))
+	db.MustTable("PartSupp").MustInsert(value.Int(7), value.Int(1), value.Int(10))
+	db.MustTable("Part").MustInsert(value.Int(7), value.String("bolt"), value.String("m"),
+		value.String("b"), value.Int(1), value.Float(1.5))
+	return db
+}
+
+const escapeQuery = `
+from Supplier $s
+construct
+<supplier>
+  <sname>$s.name</sname>
+  { from Nation $n where $s.nationkey = $n.nationkey
+    construct <nation>$n.name</nation> }
+  { from PartSupp $ps, Part $p
+    where $s.suppkey = $ps.suppkey, $ps.partkey = $p.partkey
+    construct <part>$p.name</part> }
+</supplier>
+`
+
+func TestWriteXMLEscapesText(t *testing.T) {
+	db := tinyDB(t)
+	tree, inputs := buildStreams(t, db, escapeQuery, true, false)
+	var buf bytes.Buffer
+	tg := New(tree)
+	if err := tg.WriteXML(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "A &amp; B &lt;Metals&gt;") {
+		t.Errorf("text not escaped: %s", out)
+	}
+	if strings.Contains(out, "<Metals>") {
+		t.Errorf("raw markup leaked: %s", out)
+	}
+}
+
+func TestWriteXMLWrapper(t *testing.T) {
+	db := tinyDB(t)
+	tree, inputs := buildStreams(t, db, escapeQuery, true, false)
+	var buf bytes.Buffer
+	tg := New(tree)
+	tg.Wrapper = "tpc"
+	if err := tg.WriteXML(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<tpc>") || !strings.HasSuffix(out, "</tpc>") {
+		t.Errorf("wrapper missing: %.60s ... %s", out, out[len(out)-20:])
+	}
+
+	buf.Reset()
+	_, inputs = buildStreams(t, db, escapeQuery, true, false)
+	tg.Wrapper = ""
+	if err := tg.WriteXML(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<supplier>") {
+		t.Errorf("unwrapped output = %.60s", buf.String())
+	}
+}
+
+func TestFullyPartitionedStreamsMerge(t *testing.T) {
+	db := tinyDB(t)
+	treeU, inputsU := buildStreams(t, db, escapeQuery, true, false)
+	var unified bytes.Buffer
+	if err := New(treeU).WriteXML(&unified, inputsU); err != nil {
+		t.Fatal(err)
+	}
+	treeP, inputsP := buildStreams(t, db, escapeQuery, false, false)
+	if len(inputsP) != 4 {
+		t.Fatalf("fully partitioned inputs = %d, want 4", len(inputsP))
+	}
+	var parted bytes.Buffer
+	if err := New(treeP).WriteXML(&parted, inputsP); err != nil {
+		t.Fatal(err)
+	}
+	if unified.String() != parted.String() {
+		t.Errorf("merge mismatch:\nunified: %s\nparted:  %s", unified.String(), parted.String())
+	}
+}
+
+func TestSupplierWithoutPartsEmitsNoPartElement(t *testing.T) {
+	db := tinyDB(t)
+	tree, inputs := buildStreams(t, db, escapeQuery, true, false)
+	var buf bytes.Buffer
+	if err := New(tree).WriteXML(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<part>") != 1 {
+		t.Errorf("want exactly one part element: %s", out)
+	}
+	if !strings.Contains(out, "<sname>NoParts Co</sname><nation>Spain</nation></supplier>") {
+		t.Errorf("supplier 2 shape wrong: %s", out)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := &SliceSource{RowsData: [][]value.Value{{value.Int(1)}, {value.Int(2)}}}
+	r1, ok, err := s.Next()
+	if err != nil || !ok || r1[0].AsInt() != 1 {
+		t.Fatalf("first: %v %v %v", r1, ok, err)
+	}
+	if _, ok, _ := s.Next(); !ok {
+		t.Fatal("second row missing")
+	}
+	if _, ok, _ := s.Next(); ok {
+		t.Fatal("source did not end")
+	}
+}
+
+func TestCompareKeysNullFirstAndPrefix(t *testing.T) {
+	a := []value.Value{value.Int(1), value.Null, value.Null}
+	b := []value.Value{value.Int(1), value.Int(2), value.Null}
+	if compareKeys(a, b) >= 0 {
+		t.Error("null prefix must sort before extension")
+	}
+	if compareKeys(b, a) <= 0 {
+		t.Error("antisymmetry")
+	}
+	if compareKeys(a, a) != 0 {
+		t.Error("reflexivity")
+	}
+}
+
+// errSource fails after one row to exercise error propagation.
+type errSource struct{ n int }
+
+func (e *errSource) Next() ([]value.Value, bool, error) {
+	e.n++
+	if e.n > 1 {
+		return nil, false, fmt.Errorf("synthetic stream failure")
+	}
+	return nil, false, nil
+}
+
+func TestWriteXMLPropagatesSourceErrors(t *testing.T) {
+	db := tinyDB(t)
+	tree, inputs := buildStreams(t, db, escapeQuery, true, false)
+	inputs[0].Rows = &errSource{n: 1} // fails on first Next
+	var buf bytes.Buffer
+	if err := New(tree).WriteXML(&buf, inputs); err == nil {
+		t.Error("stream error swallowed")
+	}
+}
+
+func TestConstantTextContent(t *testing.T) {
+	db := tinyDB(t)
+	tree, inputs := buildStreams(t, db,
+		`from Supplier $s construct <supplier><kind>"metal & co"</kind></supplier>`, true, false)
+	var buf bytes.Buffer
+	if err := New(tree).WriteXML(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<kind>metal &amp; co</kind>") {
+		t.Errorf("constant text wrong: %s", buf.String())
+	}
+}
+
+func TestLargeDocumentStreams(t *testing.T) {
+	// A larger database exercises buffered flushing in the XML writer.
+	db := tpch.Generate(0.002, 5)
+	tree, inputs := buildStreams(t, db, rxl.FragmentSource, true, true)
+	var buf bytes.Buffer
+	if err := New(tree).WriteXML(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantSuppliers := db.MustTable("Supplier").Len()
+	if got := strings.Count(out, "<supplier>"); got != wantSuppliers {
+		t.Errorf("suppliers in document = %d, want %d", got, wantSuppliers)
+	}
+	if strings.Count(out, "<part>") == 0 {
+		t.Error("no parts in document")
+	}
+}
+
+// TestOutputIsWellFormedXML decodes the emitted document with
+// encoding/xml and checks that element nesting follows the view tree's
+// template: every element's children are template children of its node.
+func TestOutputIsWellFormedXML(t *testing.T) {
+	db := tpch.Generate(0.002, 9)
+	tree, inputs := buildStreams(t, db, rxl.Query1Source, true, true)
+	var buf bytes.Buffer
+	if err := New(tree).WriteXML(&buf, inputs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Template: tag → set of allowed child tags.
+	allowed := map[string]map[string]bool{"document": {}}
+	for _, n := range tree.Nodes {
+		if _, ok := allowed[n.Tag]; !ok {
+			allowed[n.Tag] = map[string]bool{}
+		}
+		if n.Parent == nil {
+			allowed["document"][n.Tag] = true
+		} else {
+			allowed[n.Parent.Tag][n.Tag] = true
+		}
+	}
+
+	dec := xml.NewDecoder(&buf)
+	var stack []string
+	elements := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("emitted document is not well-formed XML: %v", err)
+		}
+		switch tok := tok.(type) {
+		case xml.StartElement:
+			elements++
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				if !allowed[parent][tok.Name.Local] {
+					t.Fatalf("element <%s> nested under <%s>, not allowed by the template", tok.Name.Local, parent)
+				}
+			} else if tok.Name.Local != "document" {
+				t.Fatalf("root element is <%s>, want <document>", tok.Name.Local)
+			}
+			stack = append(stack, tok.Name.Local)
+		case xml.EndElement:
+			if len(stack) == 0 || stack[len(stack)-1] != tok.Name.Local {
+				t.Fatalf("mismatched end element </%s>", tok.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unclosed elements: %v", stack)
+	}
+	if elements < 100 {
+		t.Fatalf("document suspiciously small: %d elements", elements)
+	}
+}

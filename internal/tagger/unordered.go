@@ -1,0 +1,140 @@
+package tagger
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"silkroute/internal/value"
+	"silkroute/internal/viewtree"
+)
+
+// WriteXMLUnordered implements the *unordered* strategy of
+// Shanmugasundaram et al. [9] that the paper's §6 contrasts with
+// SilkRoute's sorted approach: the tuple streams arrive unsorted (the
+// server skips the structural ORDER BY entirely), and the tagger assembles
+// the document in a main-memory structure before emitting it.
+//
+// The trade-off is exactly the one the paper describes: the server saves
+// every sort, but the client's memory grows with the document, so this
+// path is only usable when the XML view fits in memory. SilkRoute's
+// sorted, constant-space merge (WriteXML) is the one that scales.
+func (tg *Tagger) WriteXMLUnordered(w io.Writer, inputs []Input) error {
+	type keyed struct {
+		inst *instance
+		sig  string
+	}
+	seen := make(map[string]bool)
+	var all []*instance
+
+	for _, in := range inputs {
+		st := &streamState{
+			in:     in,
+			colIdx: make(map[string]int),
+			lCols:  make(map[int]int),
+		}
+		for ci, c := range in.Meta.Cols {
+			st.colIdx[c.Name] = ci
+			if c.IsL {
+				st.lCols[c.Level] = ci
+			}
+		}
+		for {
+			row, ok, err := in.Rows.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			for _, inst := range tg.rowInstances(st, row) {
+				k := keyed{inst: inst, sig: instanceSignature(inst)}
+				if seen[k.sig] {
+					continue
+				}
+				seen[k.sig] = true
+				all = append(all, inst)
+			}
+		}
+	}
+
+	// Structure late: one global sort into document order, then the same
+	// emission logic as the streaming path.
+	sort.SliceStable(all, func(i, j int) bool {
+		return compareKeys(all[i].key, all[j].key) < 0
+	})
+
+	bw := newXMLWriter(w)
+	if tg.Wrapper != "" {
+		bw.open(tg.Wrapper)
+	}
+	var stack []*instance
+	closeTo := func(depth int) {
+		for len(stack) > depth {
+			bw.close(stack[len(stack)-1].node.Tag)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for _, inst := range all {
+		d := inst.node.Level()
+		closeTo(d - 1)
+		bw.open(inst.node.Tag)
+		for _, c := range inst.node.Contents {
+			if c.IsConst {
+				bw.text(c.Const.Text())
+			} else {
+				bw.text(inst.vals[c.Ref].Text())
+			}
+		}
+		stack = append(stack, inst)
+	}
+	closeTo(0)
+	if tg.Wrapper != "" {
+		bw.close(tg.Wrapper)
+	}
+	return bw.flush()
+}
+
+// rowInstances expands one row into the node instances it carries, without
+// the sorted-stream deduplication (the caller deduplicates globally).
+func (tg *Tagger) rowInstances(st *streamState, row []value.Value) []*instance {
+	var out []*instance
+	var walk func(g *viewtree.Group)
+	walk = func(g *viewtree.Group) {
+		for _, m := range g.Members {
+			if inst := tg.makeInstance(st, m, row); inst != nil {
+				out = append(out, inst)
+			}
+		}
+		for _, ge := range g.Children {
+			lvl := ge.Child.Root.Level()
+			ci, ok := st.lCols[lvl]
+			if !ok {
+				continue
+			}
+			lv := row[ci]
+			if lv.IsNull() || lv.Kind() != value.KindInt || lv.AsInt() != int64(ge.Child.Root.Ordinal()) {
+				continue
+			}
+			walk(ge.Child)
+		}
+	}
+	walk(st.in.Meta.Comp.Root)
+	return out
+}
+
+// instanceSignature identifies an instance for global deduplication: the
+// node plus its structural key.
+func instanceSignature(inst *instance) string {
+	var b strings.Builder
+	b.WriteString(inst.node.SkolemName)
+	for _, v := range inst.key {
+		b.WriteByte(0)
+		if v.IsNull() {
+			b.WriteByte('N')
+		} else {
+			b.WriteString(v.HashKey())
+		}
+	}
+	return b.String()
+}

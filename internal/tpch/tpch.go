@@ -1,0 +1,248 @@
+// Package tpch generates the TPC Benchmark H database fragment of the
+// paper's Fig. 1, deterministically, at a configurable scale factor.
+//
+// The generator reproduces the structural properties the experiments
+// depend on: realistic fan-outs (4 partsupp rows per part, ~10 orders per
+// customer, 1–7 line items per order), foreign keys that actually join,
+// and — crucially for the outer-join measurements — suppliers with no
+// parts and parts with no pending orders, so that '*'-labeled view-tree
+// edges genuinely need left outer joins.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/schema"
+	"silkroute/internal/value"
+)
+
+// Scale factors corresponding to the paper's two configurations. The paper
+// used 1 MB (Config A) and 100 MB (Config B) databases; these defaults
+// keep the 1:100 ratio.
+const (
+	ScaleConfigA = 0.001
+	ScaleConfigB = 0.1
+)
+
+// Schema returns the TPC-H fragment schema of Fig. 1, with keys, foreign
+// keys, and full SQL capabilities.
+func Schema() *schema.Schema {
+	s := schema.New()
+	s.MustAddRelation("Region", []string{"regionkey"},
+		schema.Column{Name: "regionkey", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString})
+	s.MustAddRelation("Nation", []string{"nationkey"},
+		schema.Column{Name: "nationkey", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "regionkey", Type: value.KindInt})
+	s.MustAddRelation("Supplier", []string{"suppkey"},
+		schema.Column{Name: "suppkey", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "addr", Type: value.KindString},
+		schema.Column{Name: "nationkey", Type: value.KindInt})
+	s.MustAddRelation("Part", []string{"partkey"},
+		schema.Column{Name: "partkey", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "mfgr", Type: value.KindString},
+		schema.Column{Name: "brand", Type: value.KindString},
+		schema.Column{Name: "size", Type: value.KindInt},
+		schema.Column{Name: "retail", Type: value.KindFloat})
+	s.MustAddRelation("PartSupp", []string{"partkey", "suppkey"},
+		schema.Column{Name: "partkey", Type: value.KindInt},
+		schema.Column{Name: "suppkey", Type: value.KindInt},
+		schema.Column{Name: "availqty", Type: value.KindInt})
+	s.MustAddRelation("Customer", []string{"custkey"},
+		schema.Column{Name: "custkey", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "addr", Type: value.KindString},
+		schema.Column{Name: "nationkey", Type: value.KindInt},
+		schema.Column{Name: "ph", Type: value.KindString})
+	s.MustAddRelation("Orders", []string{"orderkey"},
+		schema.Column{Name: "orderkey", Type: value.KindInt},
+		schema.Column{Name: "custkey", Type: value.KindInt},
+		schema.Column{Name: "status", Type: value.KindString},
+		schema.Column{Name: "price", Type: value.KindFloat},
+		schema.Column{Name: "date", Type: value.KindString})
+	s.MustAddRelation("LineItem", []string{"orderkey", "lno"},
+		schema.Column{Name: "orderkey", Type: value.KindInt},
+		schema.Column{Name: "partkey", Type: value.KindInt},
+		schema.Column{Name: "suppkey", Type: value.KindInt},
+		schema.Column{Name: "lno", Type: value.KindInt},
+		schema.Column{Name: "qty", Type: value.KindInt},
+		schema.Column{Name: "prc", Type: value.KindFloat})
+
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "Nation", FromColumns: []string{"regionkey"},
+		ToRelation: "Region", ToColumns: []string{"regionkey"}, Total: true})
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "Supplier", FromColumns: []string{"nationkey"},
+		ToRelation: "Nation", ToColumns: []string{"nationkey"}, Total: true})
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "Customer", FromColumns: []string{"nationkey"},
+		ToRelation: "Nation", ToColumns: []string{"nationkey"}, Total: true})
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "PartSupp", FromColumns: []string{"partkey"},
+		ToRelation: "Part", ToColumns: []string{"partkey"}, Total: true})
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "PartSupp", FromColumns: []string{"suppkey"},
+		ToRelation: "Supplier", ToColumns: []string{"suppkey"}, Total: true})
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "Orders", FromColumns: []string{"custkey"},
+		ToRelation: "Customer", ToColumns: []string{"custkey"}, Total: true})
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "LineItem", FromColumns: []string{"orderkey"},
+		ToRelation: "Orders", ToColumns: []string{"orderkey"}, Total: true})
+	s.MustAddForeignKey(schema.ForeignKey{FromRelation: "LineItem", FromColumns: []string{"partkey", "suppkey"},
+		ToRelation: "PartSupp", ToColumns: []string{"partkey", "suppkey"}, Total: true})
+	return s
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+	"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+	"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+var partAdjectives = []string{
+	"plated", "anodized", "polished", "burnished", "brushed", "galvanized",
+	"lacquered", "hammered", "forged", "tempered",
+}
+
+var partMaterials = []string{
+	"brass", "steel", "nickel", "copper", "tin", "zinc", "bronze", "chrome",
+	"titanium", "aluminum",
+}
+
+var orderStatuses = []string{"O", "F", "P"}
+
+// Sizes describes how many rows Generate produces per relation at a given
+// scale factor.
+type Sizes struct {
+	Regions, Nations, Suppliers, Parts, PartSupps, Customers, Orders, LineItems int
+}
+
+// SizesFor computes the generated row counts for a scale factor. Region
+// and nation sizes are fixed by TPC-H; the rest scale linearly with the
+// standard SF-1 base counts.
+func SizesFor(sf float64) Sizes {
+	atLeast := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	sz := Sizes{
+		Regions:   len(regionNames),
+		Nations:   len(nationNames),
+		Suppliers: atLeast(int(10000 * sf)),
+		Parts:     atLeast(int(200000 * sf)),
+		Customers: atLeast(int(150000 * sf)),
+	}
+	sz.PartSupps = sz.Parts * 4
+	sz.Orders = sz.Customers * 10
+	// Line items average 4 per order; the exact count varies with the seed.
+	sz.LineItems = sz.Orders * 4
+	return sz
+}
+
+// Generate builds a fully-populated database at the given scale factor.
+// Identical (sf, seed) inputs yield identical databases.
+func Generate(sf float64, seed int64) *engine.Database {
+	db := engine.NewDatabase(Schema())
+	rng := rand.New(rand.NewSource(seed))
+	sz := SizesFor(sf)
+
+	regions := db.MustTable("Region")
+	for i, name := range regionNames {
+		regions.MustInsert(value.Int(int64(i)), value.String(name))
+	}
+	nations := db.MustTable("Nation")
+	for i, name := range nationNames {
+		nations.MustInsert(value.Int(int64(i)), value.String(name), value.Int(int64(i%len(regionNames))))
+	}
+
+	suppliers := db.MustTable("Supplier")
+	for i := 1; i <= sz.Suppliers; i++ {
+		suppliers.MustInsert(
+			value.Int(int64(i)),
+			value.String(fmt.Sprintf("Supplier#%09d", i)),
+			value.String(fmt.Sprintf("%d Main Street, Suite %d", rng.Intn(9000)+100, rng.Intn(900)+1)),
+			value.Int(int64(rng.Intn(sz.Nations))))
+	}
+
+	parts := db.MustTable("Part")
+	for i := 1; i <= sz.Parts; i++ {
+		adjective := partAdjectives[rng.Intn(len(partAdjectives))]
+		material := partMaterials[rng.Intn(len(partMaterials))]
+		parts.MustInsert(
+			value.Int(int64(i)),
+			value.String(adjective+" "+material),
+			value.String(fmt.Sprintf("Manufacturer#%d", rng.Intn(5)+1)),
+			value.String(fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)),
+			value.Int(int64(rng.Intn(50)+1)),
+			value.Float(float64(90000+rng.Intn(12000))/100))
+	}
+
+	// Every part gets 4 suppliers, but roughly 10% of suppliers supply no
+	// parts at all — those suppliers exercise the outer joins the paper's
+	// '*' edges require.
+	partSupp := db.MustTable("PartSupp")
+	supplierPool := make([]int, 0, sz.Suppliers)
+	for i := 1; i <= sz.Suppliers; i++ {
+		if sz.Suppliers >= 10 && i%10 == 0 {
+			continue // supplier without parts
+		}
+		supplierPool = append(supplierPool, i)
+	}
+	type psKey struct{ part, supp int }
+	psPairs := make([]psKey, 0, sz.PartSupps)
+	for p := 1; p <= sz.Parts; p++ {
+		seen := make(map[int]bool, 4)
+		for s := 0; s < 4; s++ {
+			supp := supplierPool[rng.Intn(len(supplierPool))]
+			if seen[supp] {
+				continue
+			}
+			seen[supp] = true
+			partSupp.MustInsert(value.Int(int64(p)), value.Int(int64(supp)), value.Int(int64(rng.Intn(9999)+1)))
+			psPairs = append(psPairs, psKey{p, supp})
+		}
+	}
+
+	customers := db.MustTable("Customer")
+	for i := 1; i <= sz.Customers; i++ {
+		customers.MustInsert(
+			value.Int(int64(i)),
+			value.String(fmt.Sprintf("Customer#%09d", i)),
+			value.String(fmt.Sprintf("%d Market Street", rng.Intn(9000)+100)),
+			value.Int(int64(rng.Intn(sz.Nations))),
+			value.String(fmt.Sprintf("%02d-%03d-%03d-%04d", rng.Intn(25)+10, rng.Intn(900)+100, rng.Intn(900)+100, rng.Intn(9000)+1000)))
+	}
+
+	orders := db.MustTable("Orders")
+	lineItems := db.MustTable("LineItem")
+	orderkey := 0
+	for c := 1; c <= sz.Customers; c++ {
+		for o := 0; o < 10; o++ {
+			orderkey++
+			orders.MustInsert(
+				value.Int(int64(orderkey)),
+				value.Int(int64(c)),
+				value.String(orderStatuses[rng.Intn(len(orderStatuses))]),
+				value.Float(float64(1000+rng.Intn(450000))/100),
+				value.String(fmt.Sprintf("199%d-%02d-%02d", rng.Intn(8), rng.Intn(12)+1, rng.Intn(28)+1)))
+			// 1–7 line items per order, each referencing a valid
+			// (partkey, suppkey) pair so the RXL chain joins succeed.
+			nl := rng.Intn(7) + 1
+			for l := 1; l <= nl; l++ {
+				pair := psPairs[rng.Intn(len(psPairs))]
+				lineItems.MustInsert(
+					value.Int(int64(orderkey)),
+					value.Int(int64(pair.part)),
+					value.Int(int64(pair.supp)),
+					value.Int(int64(l)),
+					value.Int(int64(rng.Intn(50)+1)),
+					value.Float(float64(100+rng.Intn(99900))/100))
+			}
+		}
+	}
+	return db
+}

@@ -1,0 +1,297 @@
+package viewtree
+
+import (
+	"fmt"
+	"sort"
+
+	"silkroute/internal/datalog"
+	"silkroute/internal/rxl"
+)
+
+// A plan is a subset of the view tree's edges: kept edges join their
+// endpoints into the same SQL query; cut edges split the tree into
+// separate queries (§3.2). With |E| edges there are 2^|E| plans; the
+// number of tuple streams a plan produces equals the number of connected
+// components, i.e. #nodes − #kept edges.
+
+// Group is a set of view-tree nodes evaluated by a single node query.
+// Without reduction every group is a singleton; with reduction, nodes
+// connected by kept '1'-labeled edges collapse into one group (§3.5).
+type Group struct {
+	// Root is the shallowest member; its SFI positions the group.
+	Root *Node
+	// Members in breadth-first order (Root first).
+	Members []*Node
+	// Children are the kept edges leaving this group, in child-SFI order.
+	Children []*GroupEdge
+
+	// Rule is the combined datalog rule: the union of the members' bodies
+	// and arguments.
+	Rule *datalog.Rule
+	// Args is the union of member args in global variable order.
+	Args []VarRef
+}
+
+// GroupEdge is a kept edge between two groups in the same component.
+type GroupEdge struct {
+	Child *Group
+	// ParentNode is the view-tree node on the parent side of the edge (a
+	// member of the parent group, not necessarily its root).
+	ParentNode *Node
+	// Label is the original view-tree edge's multiplicity.
+	Label Multiplicity
+}
+
+// Component is one connected component of a partitioned view tree: one SQL
+// query / tuple stream.
+type Component struct {
+	Root *Group
+	// Groups in breadth-first order.
+	Groups []*Group
+}
+
+// Nodes returns every view-tree node in the component.
+func (c *Component) Nodes() []*Node {
+	var out []*Node
+	for _, g := range c.Groups {
+		out = append(out, g.Members...)
+	}
+	return out
+}
+
+// MaxLevel returns the deepest node level in the component.
+func (c *Component) MaxLevel() int {
+	max := 0
+	for _, g := range c.Groups {
+		for _, m := range g.Members {
+			if m.Level() > max {
+				max = m.Level()
+			}
+		}
+	}
+	return max
+}
+
+// Partition splits the tree under a kept-edge subset and, when reduce is
+// true, collapses '1'-labeled kept edges within each component. Components
+// are returned in breadth-first order of their root nodes.
+func (t *Tree) Partition(keep []bool, reduce bool) ([]*Component, error) {
+	if len(keep) != len(t.Edges) {
+		return nil, fmt.Errorf("viewtree: plan has %d edge flags, tree has %d edges", len(keep), len(t.Edges))
+	}
+
+	// Node order index for union-find representatives.
+	order := make(map[*Node]int, len(t.Nodes))
+	for i, n := range t.Nodes {
+		order[n] = i
+	}
+	parent := make([]int, len(t.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Keep the smaller (shallower, earlier BFS) index as root.
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	// Components under kept edges.
+	comp := make([]int, len(t.Nodes))
+	for i := range comp {
+		comp[i] = i
+	}
+	{
+		cp := append([]int{}, parent...)
+		var findC func(int) int
+		findC = func(x int) int {
+			for cp[x] != x {
+				cp[x] = cp[cp[x]]
+				x = cp[x]
+			}
+			return x
+		}
+		for ei, e := range t.Edges {
+			if keep[ei] {
+				a, b := findC(order[e.Parent]), findC(order[e.Child])
+				if a > b {
+					a, b = b, a
+				}
+				if a != b {
+					cp[b] = a
+				}
+			}
+		}
+		for i := range comp {
+			comp[i] = findC(i)
+		}
+	}
+
+	// Groups: without reduction, singletons; with reduction, union along
+	// kept '1'-labeled edges.
+	if reduce {
+		for ei, e := range t.Edges {
+			if keep[ei] && e.Child.Label == One {
+				union(order[e.Parent], order[e.Child])
+			}
+		}
+	}
+	groupOf := make([]int, len(t.Nodes))
+	for i := range groupOf {
+		groupOf[i] = find(i)
+	}
+
+	// Materialize groups.
+	groups := make(map[int]*Group)
+	var groupIDs []int
+	for i, n := range t.Nodes {
+		gid := groupOf[i]
+		g, ok := groups[gid]
+		if !ok {
+			g = &Group{}
+			groups[gid] = g
+			groupIDs = append(groupIDs, gid)
+		}
+		g.Members = append(g.Members, n)
+	}
+	sort.Ints(groupIDs)
+	for _, gid := range groupIDs {
+		g := groups[gid]
+		g.Root = g.Members[0] // BFS order: first member is shallowest
+		t.combineRule(g)
+	}
+
+	// Group edges: kept edges crossing group boundaries.
+	for ei, e := range t.Edges {
+		if !keep[ei] {
+			continue
+		}
+		pg := groups[groupOf[order[e.Parent]]]
+		cg := groups[groupOf[order[e.Child]]]
+		if pg == cg {
+			continue
+		}
+		pg.Children = append(pg.Children, &GroupEdge{Child: cg, ParentNode: e.Parent, Label: e.Child.Label})
+	}
+
+	// Components.
+	comps := make(map[int]*Component)
+	var compIDs []int
+	for _, gid := range groupIDs {
+		g := groups[gid]
+		cid := comp[gid]
+		c, ok := comps[cid]
+		if !ok {
+			c = &Component{}
+			comps[cid] = c
+			compIDs = append(compIDs, cid)
+		}
+		if c.Root == nil {
+			c.Root = g // groupIDs ascend in BFS order, so first is root
+		}
+		c.Groups = append(c.Groups, g)
+	}
+	sort.Ints(compIDs)
+	out := make([]*Component, 0, len(compIDs))
+	for _, cid := range compIDs {
+		out = append(out, comps[cid])
+	}
+	return out, nil
+}
+
+// combineRule builds a group's combined rule and argument list: the union
+// of the members' atoms, conditions, and args (§3.5's "conjunction of all
+// the nodes' query bodies").
+func (t *Tree) combineRule(g *Group) {
+	var atoms []datalog.Atom
+	atomSeen := make(map[string]bool)
+	var conds []rxl.Condition
+	condSeen := make(map[string]bool)
+	var args []VarRef
+	argSeen := make(map[VarRef]bool)
+	for _, m := range g.Members {
+		for _, a := range m.Atoms {
+			if !atomSeen[a.Var] {
+				atomSeen[a.Var] = true
+				atoms = append(atoms, a)
+			}
+		}
+		for _, c := range m.Conds {
+			key := condKey(c)
+			if !condSeen[key] {
+				condSeen[key] = true
+				conds = append(conds, c)
+			}
+		}
+		for _, a := range m.Args() {
+			if !argSeen[a] {
+				argSeen[a] = true
+				args = append(args, a)
+			}
+		}
+	}
+	// Order args by the global variable order so every generator emits
+	// columns in a canonical sequence.
+	sort.SliceStable(args, func(i, j int) bool {
+		return t.varPos[args[i]] < t.varPos[args[j]]
+	})
+	g.Args = args
+	qargs := make([]string, len(args))
+	for i, a := range args {
+		qargs[i] = a.Q()
+	}
+	g.Rule = &datalog.Rule{
+		Head:  g.Root.SkolemName + "'",
+		Args:  qargs,
+		Atoms: atoms,
+		Conds: conds,
+	}
+}
+
+func condKey(c rxl.Condition) string {
+	return operandKey(c.L) + c.Op.String() + operandKey(c.R)
+}
+
+func operandKey(o rxl.Operand) string {
+	if o.IsConst {
+		return o.Const.String()
+	}
+	return "$" + o.Var + "." + o.Field
+}
+
+// AllEdges returns the kept-edge vector of the unified plan (every edge
+// kept: one SQL query).
+func (t *Tree) AllEdges() []bool {
+	keep := make([]bool, len(t.Edges))
+	for i := range keep {
+		keep[i] = true
+	}
+	return keep
+}
+
+// NoEdges returns the kept-edge vector of the fully partitioned plan (no
+// edges kept: one SQL query per node).
+func (t *Tree) NoEdges() []bool { return make([]bool, len(t.Edges)) }
+
+// KeepFromBits converts a bitmask over edge indices into a kept-edge
+// vector; bit i corresponds to t.Edges[i]. The experiments enumerate all
+// 2^|E| plans this way.
+func (t *Tree) KeepFromBits(bits uint64) []bool {
+	keep := make([]bool, len(t.Edges))
+	for i := range keep {
+		keep[i] = bits&(1<<uint(i)) != 0
+	}
+	return keep
+}

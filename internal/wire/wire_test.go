@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/schema"
+	"silkroute/internal/value"
+)
+
+func wireDB(t *testing.T) *engine.Database {
+	t.Helper()
+	s := schema.New()
+	s.MustAddRelation("Nation", []string{"nationkey"},
+		schema.Column{Name: "nationkey", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString})
+	db := engine.NewDatabase(s)
+	for i, n := range []string{"USA", "Spain", "France"} {
+		db.MustTable("Nation").MustInsert(value.Int(int64(i+1)), value.String(n))
+	}
+	return db
+}
+
+func drain(t *testing.T, rows *Rows) [][]value.Value {
+	t.Helper()
+	var out [][]value.Value
+	for {
+		row, err := rows.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, row)
+	}
+}
+
+func TestInProcessQuery(t *testing.T) {
+	client := InProcess(wireDB(t))
+	rows, err := client.Query("select n.nationkey, n.name from Nation n order by n.nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Columns) != 2 || rows.Columns[0] != "nationkey" || rows.Columns[1] != "name" {
+		t.Fatalf("Columns = %v", rows.Columns)
+	}
+	got := drain(t, rows)
+	if len(got) != 3 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	if got[0][1].AsString() != "USA" || got[2][1].AsString() != "France" {
+		t.Errorf("rows = %v", got)
+	}
+	if rows.RowCount != 3 || rows.BytesRead <= 0 {
+		t.Errorf("instrumentation: rows=%d bytes=%d", rows.RowCount, rows.BytesRead)
+	}
+	// EOF is sticky.
+	if _, err := rows.Next(); err != io.EOF {
+		t.Errorf("post-EOF Next: %v", err)
+	}
+}
+
+func TestServerError(t *testing.T) {
+	client := InProcess(wireDB(t))
+	_, err := client.Query("select g.x from Ghost g")
+	if err == nil {
+		t.Fatal("query on unknown table succeeded")
+	}
+}
+
+func TestNullsCostBytesOnTheWire(t *testing.T) {
+	db := wireDB(t)
+	client := InProcess(db)
+
+	narrow, err := client.Query("select n.nationkey from Nation n order by n.nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, narrow)
+
+	padded, err := client.Query(
+		"select n.nationkey, null as a, null as b, null as c, null as d from Nation n order by n.nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, padded)
+
+	if padded.BytesRead <= narrow.BytesRead {
+		t.Errorf("null padding should cost transfer bytes: padded=%d narrow=%d",
+			padded.BytesRead, narrow.BytesRead)
+	}
+}
+
+func TestTCPLoopback(t *testing.T) {
+	db := wireDB(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer l.Close()
+	srv := &Server{DB: db}
+	go srv.Serve(l)
+
+	client := NewClient(func() (net.Conn, error) {
+		return net.Dial("tcp", l.Addr().String())
+	})
+	rows, err := client.Query("select n.name from Nation n order by n.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, rows)
+	if len(got) != 3 || got[0][0].AsString() != "France" {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestConcurrentStreams(t *testing.T) {
+	// A plan with k tuple streams opens k concurrent connections; make
+	// sure interleaved reads do not interfere.
+	client := InProcess(wireDB(t))
+	const k = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows, err := client.Query(fmt.Sprintf(
+				"select n.nationkey from Nation n where n.nationkey >= %d order by n.nationkey", i%3))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for {
+				if _, err := rows.Next(); err == io.EOF {
+					return
+				} else if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCloseEarlyDoesNotHang(t *testing.T) {
+	client := InProcess(wireDB(t))
+	rows, err := client.Query("select n.nationkey, n.name from Nation n order by n.nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != io.EOF {
+		t.Errorf("Next after Close: %v, want io.EOF", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	client := NewClient(func() (net.Conn, error) {
+		return nil, fmt.Errorf("synthetic dial failure")
+	})
+	if _, err := client.Query("select 1 as x"); err == nil {
+		t.Error("Query with failing dial succeeded")
+	}
+}
+
+func TestValueRoundTripThroughWire(t *testing.T) {
+	s := schema.New()
+	s.MustAddRelation("T", []string{"k"},
+		schema.Column{Name: "k", Type: value.KindInt},
+		schema.Column{Name: "f", Type: value.KindFloat},
+		schema.Column{Name: "s", Type: value.KindString},
+		schema.Column{Name: "n", Type: value.KindString})
+	db := engine.NewDatabase(s)
+	db.MustTable("T").MustInsert(value.Int(-7), value.Float(2.5), value.String("ü✓"), value.Null)
+
+	client := InProcess(db)
+	rows, err := client.Query("select t.k, t.f, t.s, t.n from T t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, rows)
+	if len(got) != 1 {
+		t.Fatalf("rows = %v", got)
+	}
+	r := got[0]
+	if r[0].AsInt() != -7 || r[1].AsFloat() != 2.5 || r[2].AsString() != "ü✓" || !r[3].IsNull() {
+		t.Errorf("round trip mangled row: %v", r)
+	}
+}
+
+func TestEstimateOverWire(t *testing.T) {
+	db := wireDB(t)
+	client := InProcess(db)
+	est, err := client.Estimate("select n.nationkey, n.name from Nation n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows != 3 {
+		t.Errorf("remote estimate rows = %v, want 3", est.Rows)
+	}
+	if est.Cost <= 0 || est.Width <= 0 {
+		t.Errorf("remote estimate = %+v", est)
+	}
+	// The wire answer must match the local oracle exactly.
+	local, err := db.EstimateSQL("select n.nationkey, n.name from Nation n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire estimate itself added one request; values are pure
+	// functions of the query and statistics.
+	if est != local {
+		t.Errorf("wire estimate %+v != local %+v", est, local)
+	}
+}
+
+func TestEstimateErrorOverWire(t *testing.T) {
+	client := InProcess(wireDB(t))
+	if _, err := client.Estimate("select g.x from Ghost g"); err == nil {
+		t.Error("estimate of unknown table succeeded over wire")
+	}
+	if _, err := client.Estimate("not even ( sql"); err == nil {
+		t.Error("estimate of invalid SQL succeeded over wire")
+	}
+}
+
+func TestUnknownRequestKind(t *testing.T) {
+	db := wireDB(t)
+	srv := &Server{DB: db}
+	c1, c2 := net.Pipe()
+	go srv.ServeConn(c2)
+	bw := bufio.NewWriter(c1)
+	if err := writeFrame(bw, []byte{'Z', 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(c1)
+	resp, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) == 0 || resp[0] != 'E' {
+		t.Errorf("unknown request kind answered %q", resp)
+	}
+	c1.Close()
+}

@@ -1,0 +1,56 @@
+package silkroute
+
+import (
+	"net"
+
+	"silkroute/internal/rxl"
+	"silkroute/internal/schema"
+	"silkroute/internal/tpch"
+	"silkroute/internal/viewtree"
+	"silkroute/internal/wire"
+)
+
+// tpchSchemaForRemote builds the TPC-H schema via the generator package.
+func tpchSchemaForRemote() *schema.Schema { return tpch.Schema() }
+
+// Remote is a SilkRoute connection to a database served elsewhere over the
+// wire protocol — the paper's actual deployment: the middleware runs on a
+// client machine, submits SQL over the network, and asks the remote
+// optimizer for cost estimates.
+type Remote struct {
+	client *wire.Client
+}
+
+// ConnectTCP returns a remote database handle dialing the given address
+// for every query and estimate request.
+func ConnectTCP(addr string) *Remote {
+	return ConnectFunc(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+}
+
+// ConnectFunc returns a remote database handle using a custom dialer.
+func ConnectFunc(dial func() (net.Conn, error)) *Remote {
+	return &Remote{client: wire.NewClient(dial)}
+}
+
+// ParseRemoteView compiles an RXL view against a remote database. The
+// schema is the *source description* the paper's middleware keeps locally:
+// relations, keys, and the foreign-key totality constraints that drive
+// edge labeling — the data itself stays on the server.
+func ParseRemoteView(r *Remote, s *Schema, src string) (*View, error) {
+	q, err := rxl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := viewtree.Build(q, s.s)
+	if err != nil {
+		return nil, err
+	}
+	return &View{remote: r, tree: tree, Wrapper: "document", Reduce: true}, nil
+}
+
+// TPCHSourceDescription returns the source description of the built-in
+// TPC-H fragment schema, for middleware instances that evaluate views
+// against a remote TPC-H server.
+func TPCHSourceDescription() *Schema {
+	return &Schema{s: tpchSchemaForRemote()}
+}

@@ -1,0 +1,397 @@
+package silkroute
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/plan"
+	"silkroute/internal/rxl"
+	"silkroute/internal/schema"
+	"silkroute/internal/sqlgen"
+	"silkroute/internal/tpch"
+	"silkroute/internal/viewtree"
+	"silkroute/internal/wire"
+)
+
+// DB is a target relational database: an in-memory engine that executes
+// the SQL subset and answers the cost-estimate requests SilkRoute's
+// planner relies on.
+type DB struct {
+	eng *engine.Database
+}
+
+// OpenTPCH generates the TPC-H fragment of the paper's Fig. 1 at the given
+// scale factor. The same (scale, seed) pair always yields the same data.
+// The paper's Config A corresponds to scale 0.001 and Config B to 0.1.
+func OpenTPCH(scale float64, seed int64) *DB {
+	return &DB{eng: tpch.Generate(scale, seed)}
+}
+
+// NewDB creates an empty database from a schema built with NewSchema.
+func NewDB(s *Schema) *DB {
+	return &DB{eng: engine.NewDatabase(s.s)}
+}
+
+// Insert appends one row to a relation. Values may be int, int64,
+// float64, string, bool (stored as 0/1), or nil (NULL).
+func (db *DB) Insert(relation string, values ...any) error {
+	t, err := db.eng.Table(relation)
+	if err != nil {
+		return err
+	}
+	row, err := toRow(values)
+	if err != nil {
+		return fmt.Errorf("silkroute: insert into %s: %w", relation, err)
+	}
+	return t.Insert(row)
+}
+
+// LoadCSV loads a relation from a CSV file whose header matches the
+// relation's columns.
+func (db *DB) LoadCSV(relation, path string) error {
+	t, err := db.eng.Table(relation)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.ReadCSV(f)
+}
+
+// LoadCSVDir loads every relation of the schema from "<dir>/<relation>.csv".
+// Missing files are skipped, so partial datasets load cleanly.
+func (db *DB) LoadCSVDir(dir string) error {
+	for _, name := range db.eng.Schema.RelationNames() {
+		path := filepath.Join(dir, name+".csv")
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		if err := db.LoadCSV(name, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpCSVDir writes every relation to "<dir>/<relation>.csv".
+func (db *DB) DumpCSVDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.eng.Schema.RelationNames() {
+		t, err := db.eng.Table(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowCount returns the number of stored rows in a relation.
+func (db *DB) RowCount(relation string) (int, error) {
+	t, err := db.eng.Table(relation)
+	if err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
+}
+
+// Serve runs the wire protocol on a listener so remote SilkRoute clients
+// can query this database, mirroring the paper's client/server split.
+func (db *DB) Serve(l net.Listener) error {
+	srv := &wire.Server{DB: db.eng}
+	return srv.Serve(l)
+}
+
+// SetSortBudget bounds the engine's in-memory sorts to the given number
+// of rows; larger sorts spill to disk through an external merge sort,
+// modeling a memory-constrained server (the paper's Config B machine).
+// Zero (the default) means unlimited.
+func (db *DB) SetSortBudget(rows int) { db.eng.SortBudgetRows = rows }
+
+// EstimateRequests reports how many optimizer estimate requests the
+// database has served (the §5.1 economy metric).
+func (db *DB) EstimateRequests() int64 { return db.eng.EstimateRequests() }
+
+// ResetEstimateRequests zeroes the estimate-request counter.
+func (db *DB) ResetEstimateRequests() { db.eng.ResetEstimateRequests() }
+
+// Strategy selects how a view is decomposed into SQL queries.
+type Strategy int
+
+// The strategies of the paper's experiments.
+const (
+	// Unified keeps every view-tree edge: one outer-join SQL query.
+	Unified Strategy = iota
+	// OuterUnion is the sorted outer-union comparator of
+	// Shanmugasundaram et al. (VLDB 2000): one query, union of
+	// root-to-leaf join chains.
+	OuterUnion
+	// FullyPartitioned cuts every edge: one SQL query per view-tree node.
+	FullyPartitioned
+	// Greedy runs the paper's genPlan algorithm against the database's
+	// cost estimates and executes the resulting plan.
+	Greedy
+	// UnifiedCTE is the unified outer-join plan with every node query
+	// lifted into a WITH-clause common table expression (the alternative
+	// construction of the paper's §3.4 footnote). Requires a target that
+	// supports WITH.
+	UnifiedCTE
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Unified:
+		return "unified"
+	case OuterUnion:
+		return "outer-union"
+	case FullyPartitioned:
+		return "fully-partitioned"
+	case Greedy:
+		return "greedy"
+	case UnifiedCTE:
+		return "unified-cte"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// View is a compiled RXL view bound to a database (local or remote).
+type View struct {
+	db     *DB
+	remote *Remote
+	tree   *viewtree.Tree
+	// Wrapper is the document element wrapped around the view's output;
+	// set it to "" to emit a bare element sequence.
+	Wrapper string
+	// Reduce applies view-tree reduction (§3.5). On by default; reduction
+	// alone speeds plans up ~2.5× in the paper's measurements.
+	Reduce bool
+}
+
+// ParseView compiles an RXL view definition against the database's schema.
+func ParseView(db *DB, src string) (*View, error) {
+	q, err := rxl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := viewtree.Build(q, db.eng.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return &View{db: db, tree: tree, Wrapper: "document", Reduce: true}, nil
+}
+
+// EdgeCount returns the number of view-tree edges; the view has 2^EdgeCount
+// candidate plans.
+func (v *View) EdgeCount() int { return len(v.tree.Edges) }
+
+// NodeCount returns the number of view-tree nodes (XML template elements).
+func (v *View) NodeCount() int { return len(v.tree.Nodes) }
+
+// EdgeLabels returns each edge as "parent→child:label" in index order,
+// e.g. "supplier→part:*".
+func (v *View) EdgeLabels() []string {
+	out := make([]string, len(v.tree.Edges))
+	for i, e := range v.tree.Edges {
+		out[i] = fmt.Sprintf("%s→%s:%s", e.Parent.Tag, e.Child.Tag, e.Label())
+	}
+	return out
+}
+
+// Report describes one materialization: the plan used and its timings.
+type Report struct {
+	Strategy  Strategy
+	Streams   int           // SQL queries (tuple streams) executed
+	QueryTime time.Duration // until all queries were executed server-side
+	TotalTime time.Duration // until the document was fully written
+	Rows      int64         // tuples transferred
+	SQL       []string      // the generated SQL, one statement per stream
+	// GreedyMandatory/GreedyOptional are set for the Greedy strategy: the
+	// edge indices the planner chose.
+	GreedyMandatory []int
+	GreedyOptional  []int
+	// EstimateRequests is the number of optimizer calls Greedy made.
+	EstimateRequests int64
+}
+
+// Materialize evaluates the view with the given strategy and writes the
+// XML document to w.
+func (v *View) Materialize(w io.Writer, s Strategy) (*Report, error) {
+	p, rep, err := v.plan(s)
+	if err != nil {
+		return nil, err
+	}
+	return v.execute(w, p, rep)
+}
+
+// MaterializePlan evaluates the view with an explicit edge bitmask: bit i
+// keeps view-tree edge i. Use EdgeLabels to see the edges.
+func (v *View) MaterializePlan(w io.Writer, keepBits uint64) (*Report, error) {
+	p := plan.FromBits(v.tree, keepBits, v.Reduce)
+	return v.execute(w, p, &Report{Strategy: Unified})
+}
+
+func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
+	rep := &Report{Strategy: s}
+	caps := v.tree.Schema.Supports
+	checked := func(p *plan.Plan) (*plan.Plan, *Report, error) {
+		ok, err := p.Permissible(caps)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("silkroute: the %s plan needs SQL constructs the target does not support (left outer join: %v, outer union: %v)",
+				s, caps.LeftOuterJoin, caps.OuterUnion)
+		}
+		return p, rep, nil
+	}
+	switch s {
+	case Unified:
+		return checked(plan.Unified(v.tree, v.Reduce))
+	case UnifiedCTE:
+		p := plan.Unified(v.tree, v.Reduce)
+		p.Style = sqlgen.WithClause
+		return checked(p)
+	case OuterUnion:
+		return checked(plan.UnifiedOuterUnion(v.tree, v.Reduce))
+	case FullyPartitioned:
+		return plan.FullyPartitioned(v.tree), rep, nil
+	case Greedy:
+		var oracle plan.Oracle
+		if v.remote != nil {
+			oracle = plan.RemoteOracle{Client: v.remote.client}
+		} else {
+			v.db.ResetEstimateRequests()
+			oracle = v.db.eng
+		}
+		res, err := plan.Greedy(oracle, v.tree, plan.DefaultGreedyParams(v.Reduce))
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.GreedyMandatory = res.Mandatory
+		rep.GreedyOptional = res.Optional
+		rep.EstimateRequests = res.Requests
+		best := res.BestPlan(v.tree)
+		if ok, err := best.Permissible(caps); err != nil {
+			return nil, nil, err
+		} else if !ok {
+			// Fall back to the best family member (or the always-legal
+			// fully partitioned plan) the target can execute.
+			best, err = plan.BestPermissible(oracle, v.tree, plan.DefaultGreedyParams(v.Reduce), caps)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return best, rep, nil
+	default:
+		return nil, nil, fmt.Errorf("silkroute: unknown strategy %v", s)
+	}
+}
+
+func (v *View) execute(w io.Writer, p *plan.Plan, rep *Report) (*Report, error) {
+	streams, err := p.Streams()
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range streams {
+		rep.SQL = append(rep.SQL, st.SQL())
+	}
+	p.Wrapper = v.Wrapper
+	var m plan.Metrics
+	if v.remote != nil {
+		m, err = plan.ExecuteWire(v.remote.client, p, w)
+	} else {
+		m, err = plan.ExecuteDirect(v.db.eng, p, w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Streams = m.Streams
+	rep.QueryTime = m.QueryTime
+	rep.TotalTime = m.TotalTime
+	rep.Rows = m.Rows
+	return rep, nil
+}
+
+// Schema declares the relations of a database in the paper's datalog-like
+// style: keys, columns, and the foreign keys whose totality drives edge
+// labeling.
+type Schema struct {
+	s *schema.Schema
+}
+
+// NewSchema returns an empty schema with full SQL capabilities.
+func NewSchema() *Schema { return &Schema{s: schema.New()} }
+
+// ColumnType identifies a column's type.
+type ColumnType = string
+
+// Column types accepted by AddRelation.
+const (
+	Int    ColumnType = "int"
+	Float  ColumnType = "float"
+	String ColumnType = "string"
+)
+
+// AddRelation declares a relation. Columns alternate name/type pairs:
+//
+//	s.AddRelation("Part", []string{"partkey"},
+//	    "partkey", silkroute.Int, "name", silkroute.String)
+func (sc *Schema) AddRelation(name string, key []string, nameTypePairs ...string) error {
+	if len(nameTypePairs)%2 != 0 {
+		return fmt.Errorf("silkroute: AddRelation(%s): odd name/type list", name)
+	}
+	cols := make([]schema.Column, 0, len(nameTypePairs)/2)
+	for i := 0; i < len(nameTypePairs); i += 2 {
+		k, err := kindOf(nameTypePairs[i+1])
+		if err != nil {
+			return fmt.Errorf("silkroute: AddRelation(%s): column %s: %w", name, nameTypePairs[i], err)
+		}
+		cols = append(cols, schema.Column{Name: nameTypePairs[i], Type: k})
+	}
+	_, err := sc.s.AddRelation(name, key, cols...)
+	return err
+}
+
+// SetCapabilities restricts the SQL constructs the target database
+// supports (§3.4's source description). Plans needing unsupported
+// constructs are rejected, and the Greedy strategy restricts itself to
+// permissible plans — the fully partitioned plan needs nothing optional
+// and always remains legal.
+func (sc *Schema) SetCapabilities(leftOuterJoin, outerUnion bool) {
+	sc.s.Supports = schema.Capabilities{
+		LeftOuterJoin: leftOuterJoin,
+		OuterUnion:    outerUnion,
+		WithClause:    sc.s.Supports.WithClause,
+	}
+}
+
+// AddForeignKey declares a foreign key; total means every source row has a
+// matching target row (what makes a child element guaranteed, i.e. a '1'
+// or '+' edge).
+func (sc *Schema) AddForeignKey(fromRel string, fromCols []string, toRel string, toCols []string, total bool) error {
+	return sc.s.AddForeignKey(schema.ForeignKey{
+		FromRelation: fromRel, FromColumns: fromCols,
+		ToRelation: toRel, ToColumns: toCols, Total: total,
+	})
+}
