@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench-smoke ci experiments
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector multiplies runtime; -short skips the exhaustive plan
+# sweeps while still covering every concurrent code path.
+test-race:
+	$(GO) test -race -short ./...
+
+# One iteration of the parallel-execution grid: proves the benchmark and
+# the worker pool still run, without paying for a full measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench ParallelExecute -benchtime 1x ./internal/plan
+
+ci: vet build test-race bench-smoke
+
+experiments:
+	$(GO) run ./cmd/experiments

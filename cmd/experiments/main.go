@@ -8,12 +8,17 @@
 //	                            # fig15 fig18 greedystats ratios
 //	experiments -scaleB 0.1     # full Config B scale (slower)
 //	experiments -repeat 3       # keep the fastest of 3 runs per plan
+//	experiments -parallel 8     # sweep plans under 8 workers (exploration;
+//	                            # run serially for publishable timings)
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"silkroute/internal/bench"
 )
@@ -22,12 +27,30 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, sec2, fig13, fig14, fig15, fig18, greedystats, ratios, spill")
 	scaleB := flag.Float64("scaleB", 0.02, "Config B scale factor (paper ratio is 0.1 = 100x Config A)")
 	repeat := flag.Int("repeat", 1, "runs per plan (fastest kept)")
+	parallel := flag.Int("parallel", 1, "concurrent plan measurements and greedy estimates (0 = one per CPU, 1 = serial)")
 	csvDir := flag.String("csv", "", "also write the Figure 13/14 sweeps as CSV files into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	s := bench.NewSuite(os.Stdout)
 	s.ScaleB = *scaleB
 	s.Repeat = *repeat
+	s.Parallelism = *parallel
 
 	steps := map[string]func() error{
 		"all":         s.All,
@@ -47,14 +70,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := f(); err != nil {
-		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
-		os.Exit(1)
+	err := f()
+	if err == nil && *csvDir != "" {
+		err = s.WriteSweepCSV(*csvDir)
 	}
-	if *csvDir != "" {
-		if err := s.WriteSweepCSV(*csvDir); err != nil {
-			fmt.Fprintf(os.Stderr, "csv export failed: %v\n", err)
+	if *memProfile != "" {
+		mf, merr := os.Create(*memProfile)
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", merr)
 			os.Exit(1)
 		}
+		runtime.GC()
+		if werr := pprof.WriteHeapProfile(mf); werr != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", werr)
+			os.Exit(1)
+		}
+		mf.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
+		os.Exit(1)
 	}
 }

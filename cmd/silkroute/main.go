@@ -37,6 +37,7 @@ func main() {
 	strategy := flag.String("strategy", "greedy", "plan strategy: unified, unified-cte, outer-union, fully-partitioned, greedy")
 	explain := flag.Bool("explain", false, "print the plan and SQL to stderr")
 	noReduce := flag.Bool("no-reduce", false, "disable view-tree reduction")
+	parallelism := flag.Int("parallelism", 0, "concurrent partition queries (0 = one per CPU, 1 = serial)")
 	serve := flag.String("serve", "", "run as a database server on this address instead of materializing")
 	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
 	flag.Parse()
@@ -71,6 +72,7 @@ func main() {
 		fatal(err)
 	}
 	view.Reduce = !*noReduce
+	view.Parallelism = *parallelism
 
 	strat, err := parseStrategy(*strategy)
 	if err != nil {
@@ -88,7 +90,7 @@ func main() {
 
 	if *explain {
 		fmt.Fprintf(os.Stderr, "strategy: %s  streams: %d  rows: %d\n", rep.Strategy, rep.Streams, rep.Rows)
-		fmt.Fprintf(os.Stderr, "query time: %v  total time: %v\n", rep.QueryTime, rep.TotalTime)
+		fmt.Fprintf(os.Stderr, "query time: %v (wall %v)  total time: %v\n", rep.QueryTime, rep.QueryWallTime, rep.TotalTime)
 		if rep.Strategy == silkroute.Greedy {
 			fmt.Fprintf(os.Stderr, "greedy: mandatory=%v optional=%v estimate requests=%d\n",
 				rep.GreedyMandatory, rep.GreedyOptional, rep.EstimateRequests)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"silkroute/internal/engine"
@@ -95,6 +97,13 @@ type Runner struct {
 	// Repeat re-executes each plan this many times and keeps the fastest
 	// run, damping scheduler noise. Defaults to 1.
 	Repeat int
+	// Parallelism bounds how many plans a Sweep measures concurrently.
+	// <=1 keeps the original serial sweep. Results are collected by plan
+	// bitmask index either way, so CSV exports and figure tables are
+	// byte-identical at any setting. Note that concurrent measurement
+	// trades per-plan timing fidelity for sweep throughput: use it to
+	// explore, re-run serially to publish numbers.
+	Parallelism int
 }
 
 // NewRunner builds a runner with an in-process wire client.
@@ -136,21 +145,69 @@ func (r *Runner) Run(p *plan.Plan, bits uint64) (PlanResult, error) {
 // Sweep measures all 2^|E| plans of a view tree (the exhaustive experiment
 // behind Figures 13 and 14; the paper ran it only on Config A, as does the
 // harness by default). progress, if non-nil, receives a line every 64
-// plans.
+// plans. With Runner.Parallelism > 1 the plans are measured under a worker
+// pool; the result slice is in bitmask order regardless.
 func (r *Runner) Sweep(t *viewtree.Tree, reduce bool, progress io.Writer) ([]PlanResult, error) {
-	var out []PlanResult
-	err := plan.Enumerate(t, reduce, func(bits uint64, p *plan.Plan) error {
-		res, err := r.Run(p, bits)
+	if r.Parallelism <= 1 {
+		var out []PlanResult
+		err := plan.Enumerate(t, reduce, func(bits uint64, p *plan.Plan) error {
+			res, err := r.Run(p, bits)
+			if err != nil {
+				return fmt.Errorf("plan %b: %w", bits, err)
+			}
+			out = append(out, res)
+			if progress != nil && bits%64 == 63 {
+				fmt.Fprintf(progress, "  swept %d/%d plans\n", bits+1, 1<<uint(len(t.Edges)))
+			}
+			return nil
+		})
+		return out, err
+	}
+
+	if len(t.Edges) > 30 {
+		return nil, fmt.Errorf("bench: refusing to sweep 2^%d plans", len(t.Edges))
+	}
+	total := 1 << uint(len(t.Edges))
+	workers := r.Parallelism
+	if workers > total {
+		workers = total
+	}
+	out := make([]PlanResult, total)
+	errs := make([]error, total)
+	var next, done atomic.Int64
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				bits := uint64(i)
+				res, err := r.Run(plan.FromBits(t, bits, reduce), bits)
+				if err != nil {
+					errs[i] = fmt.Errorf("plan %b: %w", bits, err)
+				} else {
+					out[i] = res
+				}
+				if d := done.Add(1); progress != nil && d%64 == 0 {
+					progressMu.Lock()
+					fmt.Fprintf(progress, "  swept %d/%d plans\n", d, total)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return fmt.Errorf("plan %b: %w", bits, err)
+			return nil, err
 		}
-		out = append(out, res)
-		if progress != nil && bits%64 == 63 {
-			fmt.Fprintf(progress, "  swept %d/%d plans\n", bits+1, 1<<uint(len(t.Edges)))
-		}
-		return nil
-	})
-	return out, err
+	}
+	return out, nil
 }
 
 // ByTotal sorts results ascending by total time, dropping timed-out plans.

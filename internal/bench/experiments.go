@@ -26,6 +26,11 @@ type Suite struct {
 	ScaleB float64
 	// Repeat is per-plan repetition count for noise damping.
 	Repeat int
+	// Parallelism is forwarded to every Runner the suite creates (plan
+	// sweeps) and to the greedy searches. <=1 reproduces the serial
+	// harness exactly; higher values speed up exploratory runs at the
+	// price of per-plan timing fidelity.
+	Parallelism int
 
 	dbA    *engine.Database
 	runA   *Runner
@@ -44,8 +49,17 @@ func (s *Suite) configA() (*engine.Database, *Runner) {
 		s.dbA = ConfigA.Open()
 		s.runA = NewRunner(s.dbA)
 		s.runA.Repeat = s.Repeat
+		s.runA.Parallelism = s.Parallelism
 	}
 	return s.dbA, s.runA
+}
+
+// greedyParams stamps the suite's parallelism onto a greedy parameter set.
+// The singleflight cache in plan.Greedy keeps the selected plans and the
+// §5.1 request counts identical at every setting.
+func (s *Suite) greedyParams(p plan.GreedyParams) plan.GreedyParams {
+	p.Parallelism = s.Parallelism
+	return p
 }
 
 func (s *Suite) tree(which int) (*viewtree.Tree, error) {
@@ -115,11 +129,12 @@ func (s *Suite) Sec2() error {
 	db := OpenScaled(s.ScaleB, ConfigB.Seed)
 	run := NewRunner(db)
 	run.Repeat = s.Repeat
+	run.Parallelism = s.Parallelism
 	t, err := QueryTree(db, 1)
 	if err != nil {
 		return err
 	}
-	greedy, err := plan.Greedy(db, t, plan.DefaultGreedyParams(true))
+	greedy, err := plan.Greedy(db, t, s.greedyParams(plan.DefaultGreedyParams(true)))
 	if err != nil {
 		return err
 	}
@@ -261,12 +276,13 @@ func (s *Suite) Fig15() error {
 	db := OpenScaled(s.ScaleB, ConfigB.Seed)
 	run := NewRunner(db)
 	run.Repeat = s.Repeat
+	run.Parallelism = s.Parallelism
 	for _, which := range []int{1, 2} {
 		t, err := QueryTree(db, which)
 		if err != nil {
 			return err
 		}
-		res, err := plan.Greedy(db, t, GreedyFamilyParams(s.ScaleB, true))
+		res, err := plan.Greedy(db, t, s.greedyParams(GreedyFamilyParams(s.ScaleB, true)))
 		if err != nil {
 			return err
 		}
@@ -313,7 +329,7 @@ func (s *Suite) Fig18() error {
 			return err
 		}
 		for _, reduce := range []bool{false, true} {
-			res, err := plan.Greedy(db, t, GreedyFamilyParams(ConfigA.Scale, reduce))
+			res, err := plan.Greedy(db, t, s.greedyParams(GreedyFamilyParams(ConfigA.Scale, reduce)))
 			if err != nil {
 				return err
 			}
@@ -354,7 +370,7 @@ func (s *Suite) GreedyStats() error {
 		}
 		for _, reduce := range []bool{false, true} {
 			db.ResetEstimateRequests()
-			res, err := plan.Greedy(db, t, plan.DefaultGreedyParams(reduce))
+			res, err := plan.Greedy(db, t, s.greedyParams(plan.DefaultGreedyParams(reduce)))
 			if err != nil {
 				return err
 			}
@@ -434,11 +450,12 @@ func (s *Suite) SpillAblation() error {
 		db.SortBudgetRows = budget
 		run := NewRunner(db)
 		run.Repeat = s.Repeat
+		run.Parallelism = s.Parallelism
 		t, err := QueryTree(db, 1)
 		if err != nil {
 			return err
 		}
-		greedy, err := plan.Greedy(db, t, plan.DefaultGreedyParams(true))
+		greedy, err := plan.Greedy(db, t, s.greedyParams(plan.DefaultGreedyParams(true)))
 		if err != nil {
 			return err
 		}

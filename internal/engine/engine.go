@@ -23,6 +23,14 @@ import (
 )
 
 // Database is one target database instance: a schema plus stored tables.
+//
+// Concurrency contract: once loading is done, ExecuteQuery and the estimate
+// interface are safe to call from any number of goroutines concurrently.
+// Query execution never mutates the database — the view tree, generated SQL,
+// and executor all work on per-call state; table statistics are computed
+// under a per-table mutex; the estimate-request counter is atomic. What is
+// NOT safe is inserting rows (Table/Insert) concurrently with queries; load
+// first, then query, as every experiment harness here does.
 type Database struct {
 	Schema *schema.Schema
 	tables map[string]*table.Table

@@ -2,9 +2,12 @@ package plan
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"silkroute/internal/engine"
 	"silkroute/internal/sqlast"
@@ -46,6 +49,14 @@ type GreedyParams struct {
 	T1, T2 float64
 	Reduce bool
 	Style  sqlgen.Style
+	// Parallelism bounds how many candidate edges are costed concurrently
+	// within one greedy iteration. <=0 means runtime.GOMAXPROCS(0); 1 is
+	// strictly serial. The oracle must tolerate concurrent EstimateQuery
+	// calls when this exceeds 1 (both the local engine and RemoteOracle
+	// do). The singleflight cost cache keeps the §5.1 estimate-request
+	// count identical at every parallelism level: each distinct candidate
+	// query reaches the oracle exactly once.
+	Parallelism int
 }
 
 // DefaultGreedyParams returns the calibrated parameters, analogous to the
@@ -99,19 +110,42 @@ func (r *GreedyResult) BestPlan(t *viewtree.Tree) *Plan {
 	return &Plan{Tree: t, Keep: keep, Reduce: r.Params.Reduce, Style: r.Params.Style, Wrapper: "document"}
 }
 
+// costEntry is one singleflight cache slot: the first goroutine to reach a
+// candidate query computes its estimate under once; everyone else waits and
+// reuses the result (including an error — a failed estimate is not retried,
+// matching the serial algorithm's fail-fast behaviour).
+type costEntry struct {
+	once sync.Once
+	cost float64
+	err  error
+}
+
 // Greedy runs the paper's genPlan algorithm (Fig. 17): repeatedly estimate
 // the relative cost of every remaining edge — the cost of evaluating the
 // two incident queries combined minus the sum of their separate costs —
 // and greedily contract the cheapest edge while it qualifies under the
 // thresholds. Cost estimates are cached per candidate query, so the
 // number of oracle requests stays far below the O(|E|²) bound.
+//
+// Within each iteration the remaining edges are costed concurrently under
+// prm.Parallelism workers. Edge selection scans relative costs in edge
+// order, so the chosen plan family and the request count are independent
+// of scheduling.
 func Greedy(oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, error) {
 	res := &GreedyResult{Params: prm}
 	contracted := make([]bool, len(t.Edges))
 
+	par := prm.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	var requests atomic.Int64
+	var cacheMu sync.Mutex
+	costCache := make(map[string]*costEntry)
+
 	// componentCost estimates the cost of the single query evaluating the
 	// component that contains seed, under the given contracted-edge set.
-	costCache := make(map[string]float64)
 	componentCost := func(keep []bool, seed *viewtree.Node) (float64, error) {
 		comps, err := t.Partition(keep, prm.Reduce)
 		if err != nil {
@@ -131,48 +165,96 @@ func Greedy(oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, e
 			return 0, fmt.Errorf("plan: component for node %s not found", seed.SkolemName)
 		}
 		key := componentKey(comp, prm.Reduce)
-		if c, ok := costCache[key]; ok {
-			return c, nil
+		cacheMu.Lock()
+		entry, ok := costCache[key]
+		if !ok {
+			entry = &costEntry{}
+			costCache[key] = entry
 		}
-		streams, err := sqlgen.Generate(t, []*viewtree.Component{comp}, prm.Style)
+		cacheMu.Unlock()
+		entry.once.Do(func() {
+			streams, err := sqlgen.Generate(t, []*viewtree.Component{comp}, prm.Style)
+			if err != nil {
+				entry.err = err
+				return
+			}
+			est, err := oracle.EstimateQuery(streams[0].Query)
+			if err != nil {
+				entry.err = err
+				return
+			}
+			requests.Add(1)
+			entry.cost = prm.A*est.Cost + prm.B*est.DataSize()
+		})
+		return entry.cost, entry.err
+	}
+
+	// evalEdge computes one edge's relative cost: combined query minus the
+	// two separate incident queries.
+	evalEdge := func(ei int) (float64, error) {
+		e := t.Edges[ei]
+		q1, err := componentCost(contracted, e.Parent)
 		if err != nil {
 			return 0, err
 		}
-		est, err := oracle.EstimateQuery(streams[0].Query)
+		q2, err := componentCost(contracted, e.Child)
 		if err != nil {
 			return 0, err
 		}
-		res.Requests++
-		cost := prm.A*est.Cost + prm.B*est.DataSize()
-		costCache[key] = cost
-		return cost, nil
+		withEdge := append([]bool{}, contracted...)
+		withEdge[ei] = true
+		qc, err := componentCost(withEdge, e.Parent)
+		if err != nil {
+			return 0, err
+		}
+		return qc - (q1 + q2), nil
 	}
 
 	for {
+		var remaining []int
+		for ei := range t.Edges {
+			if !contracted[ei] {
+				remaining = append(remaining, ei)
+			}
+		}
+		if len(remaining) == 0 {
+			break
+		}
+		rels := make([]float64, len(remaining))
+		errs := make([]error, len(remaining))
+		if workers := min(par, len(remaining)); workers > 1 {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(remaining) {
+							return
+						}
+						rels[i], errs[i] = evalEdge(remaining[i])
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for i, ei := range remaining {
+				rels[i], errs[i] = evalEdge(ei)
+			}
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 		bestEdge := -1
 		bestCost := 0.0
-		for ei, e := range t.Edges {
-			if contracted[ei] {
-				continue
-			}
-			q1, err := componentCost(contracted, e.Parent)
-			if err != nil {
-				return nil, err
-			}
-			q2, err := componentCost(contracted, e.Child)
-			if err != nil {
-				return nil, err
-			}
-			withEdge := append([]bool{}, contracted...)
-			withEdge[ei] = true
-			qc, err := componentCost(withEdge, e.Parent)
-			if err != nil {
-				return nil, err
-			}
-			rel := qc - (q1 + q2)
-			if bestEdge < 0 || rel < bestCost {
+		for i, ei := range remaining {
+			if bestEdge < 0 || rels[i] < bestCost {
 				bestEdge = ei
-				bestCost = rel
+				bestCost = rels[i]
 			}
 		}
 		if bestEdge < 0 || bestCost >= prm.T2 {
@@ -185,6 +267,7 @@ func Greedy(oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, e
 		}
 		contracted[bestEdge] = true
 	}
+	res.Requests = requests.Load()
 	sort.Ints(res.Mandatory)
 	sort.Ints(res.Optional)
 	return res, nil

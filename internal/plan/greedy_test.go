@@ -81,6 +81,50 @@ func TestGreedyEstimateRequestEconomy(t *testing.T) {
 	}
 }
 
+func TestGreedyParallelismInvariant(t *testing.T) {
+	// The parallel candidate evaluation must not change what the search
+	// selects, nor the §5.1 request count: the singleflight cache sends
+	// each distinct candidate query to the oracle exactly once at any
+	// worker count.
+	for _, reduce := range []bool{false, true} {
+		tree, db := greedySetup(t, rxl.Query1Source)
+		serialPrm := DefaultGreedyParams(reduce)
+		serialPrm.Parallelism = 1
+		serial, err := Greedy(db, tree, serialPrm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 8} {
+			prm := DefaultGreedyParams(reduce)
+			prm.Parallelism = par
+			got, err := Greedy(db, tree, prm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(got.Mandatory, serial.Mandatory) || !equalInts(got.Optional, serial.Optional) {
+				t.Errorf("reduce=%v par=%d: edges diverge: mandatory %v/%v optional %v/%v",
+					reduce, par, got.Mandatory, serial.Mandatory, got.Optional, serial.Optional)
+			}
+			if got.Requests != serial.Requests {
+				t.Errorf("reduce=%v par=%d: %d estimate requests, serial made %d",
+					reduce, par, got.Requests, serial.Requests)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestGreedyPlanFamilyEnumeration(t *testing.T) {
 	tree, db := greedySetup(t, rxl.Query1Source)
 	prm := DefaultGreedyParams(true)

@@ -16,7 +16,9 @@ package plan
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"silkroute/internal/engine"
@@ -42,6 +44,13 @@ type Plan struct {
 	// server-side sorts) and the tagger assembles the document in memory.
 	// Only usable when the document fits in client memory.
 	Unordered bool
+	// Parallelism bounds how many partition queries ExecuteDirect runs
+	// concurrently. <=0 means runtime.GOMAXPROCS(0); 1 reproduces the
+	// original serial behaviour. Partitioned plans are embarrassingly
+	// parallel on the server side — each component query touches disjoint
+	// work — so this is the knob the paper's "multiple result sets open at
+	// once" client implies.
+	Parallelism int
 }
 
 // Unified returns the plan keeping every edge: one SQL query.
@@ -105,11 +114,18 @@ func (p *Plan) Streams() ([]*sqlgen.Stream, error) {
 // first tuple — dominated by server-side execution and sorting) and total
 // time (until the last tuple has been read and tagged).
 type Metrics struct {
-	Streams   int
+	Streams int
+	// QueryTime is the summed per-stream server execution time. It is the
+	// paper's "query-only" series and is independent of Parallelism, so
+	// parallel runs stay comparable with the published serial numbers.
 	QueryTime time.Duration
-	TotalTime time.Duration
-	Rows      int64 // total tuples transferred across all streams
-	Bytes     int64 // total payload bytes transferred (wire execution only)
+	// QueryWallTime is the elapsed wall clock of the query phase. With
+	// Parallelism 1 it equals QueryTime (plus scheduling noise); with more
+	// workers it is what actually shrinks.
+	QueryWallTime time.Duration
+	TotalTime     time.Duration
+	Rows          int64 // total tuples transferred across all streams
+	Bytes         int64 // total payload bytes transferred (wire execution only)
 }
 
 // resultSource adapts an engine result to a tagger source and counts the
@@ -129,9 +145,12 @@ func (s *resultSource) Next() ([]value.Value, bool, error) {
 }
 
 // ExecuteDirect runs the plan against an in-process engine (no wire
-// protocol) and writes the XML document to w. Queries execute one after
-// another; query time is the sum of server execution times, total time
-// adds tagging.
+// protocol) and writes the XML document to w. Partition queries execute
+// under a bounded worker pool of p.Parallelism goroutines (see Plan);
+// QueryTime stays the summed server execution time regardless of the pool
+// size, QueryWallTime is the elapsed query phase, and TotalTime adds
+// tagging. Results are collected by stream index, so the merged document
+// is byte-identical at every parallelism level.
 func ExecuteDirect(db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
 	streams, err := p.Streams()
 	if err != nil {
@@ -140,14 +159,60 @@ func ExecuteDirect(db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
 	start := time.Now()
 	m := Metrics{Streams: len(streams)}
 	inputs := make([]tagger.Input, len(streams))
-	for i, s := range streams {
-		res, err := db.ExecuteQuery(s.Query)
-		if err != nil {
-			return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, err)
-		}
-		inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{res: res, rows: &m.Rows}}
+
+	par := p.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	m.QueryTime = time.Since(start)
+	if par > len(streams) {
+		par = len(streams)
+	}
+
+	if par <= 1 {
+		for i, s := range streams {
+			qs := time.Now()
+			res, err := db.ExecuteQuery(s.Query)
+			m.QueryTime += time.Since(qs)
+			if err != nil {
+				return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, err)
+			}
+			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{res: res, rows: &m.Rows}}
+		}
+	} else {
+		results := make([]*engine.Result, len(streams))
+		errs := make([]error, len(streams))
+		var next atomic.Int64
+		var served atomic.Int64 // summed per-query server nanoseconds
+		var wg sync.WaitGroup
+		for g := 0; g < par; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(streams) {
+						return
+					}
+					qs := time.Now()
+					res, err := db.ExecuteQuery(streams[i].Query)
+					served.Add(int64(time.Since(qs)))
+					results[i], errs[i] = res, err
+				}
+			}()
+		}
+		wg.Wait()
+		m.QueryTime = time.Duration(served.Load())
+		for i, err := range errs {
+			if err != nil {
+				return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, err)
+			}
+		}
+		for i, s := range streams {
+			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{res: results[i], rows: &m.Rows}}
+		}
+	}
+	m.QueryWallTime = time.Since(start)
+
 	tg := tagger.New(p.Tree)
 	tg.Wrapper = p.Wrapper
 	if err := writeDoc(tg, w, inputs, p.Unordered); err != nil {
@@ -211,15 +276,22 @@ func ExecuteWire(client *wire.Client, p *Plan, w io.Writer) (Metrics, error) {
 	}
 	wg.Wait()
 	m.QueryTime = time.Since(start)
+	m.QueryWallTime = m.QueryTime
+
+	// Every opened stream is released on every exit path; Rows.Close is
+	// idempotent, so streams already closed at EOF are fine.
+	closeAll := func() {
+		for _, o := range results {
+			if o.rows != nil {
+				o.rows.Close()
+			}
+		}
+	}
+	defer closeAll()
 
 	inputs := make([]tagger.Input, len(streams))
 	for i, r := range results {
 		if r.err != nil {
-			for _, o := range results {
-				if o.rows != nil {
-					o.rows.Close()
-				}
-			}
 			return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, r.err)
 		}
 		inputs[i] = tagger.Input{Meta: streams[i], Rows: &wireSource{rows: r.rows}}

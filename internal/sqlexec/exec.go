@@ -85,7 +85,11 @@ func evalUnion(cat Catalog, u *sqlast.Union) (*Rel, error) {
 			return nil, fmt.Errorf("sqlexec: union branch %d: %w", i, err)
 		}
 		if out == nil {
-			out = r
+			// Clone the first branch's row slice before appending later
+			// branches: a branch may hand back a relation whose backing
+			// array is shared (a memoized CTE, a base table), and appending
+			// in place would splice other branches' rows into it.
+			out = &Rel{Cols: r.Cols, Rows: append([]table.Row(nil), r.Rows...)}
 			continue
 		}
 		if len(r.Cols) != len(out.Cols) {
@@ -458,7 +462,12 @@ func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) 
 		} else {
 			disjuncts = []sqlast.Expr{on}
 		}
-		seen := make(map[int64]bool)
+		// A single disjunct visits each (left, right) pair at most once, so
+		// the cross-disjunct dedup map is only needed when there are several.
+		var seen map[int64]bool
+		if len(disjuncts) > 1 {
+			seen = make(map[int64]bool)
+		}
 		for _, d := range disjuncts {
 			if err := joinDisjunct(l, r, d, outCols, matches, seen); err != nil {
 				return nil, err
@@ -476,10 +485,15 @@ func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) 
 			}
 			continue
 		}
-		// Emit matches in right-relation order for determinism.
-		sorted := append([]int(nil), rs...)
-		sort.Ints(sorted)
-		for _, ri := range sorted {
+		// Emit matches in right-relation order for determinism. Single-
+		// disjunct joins record matches in ascending order already; only
+		// multi-disjunct merges need the copy and sort.
+		if !sort.IntsAreSorted(rs) {
+			sorted := append([]int(nil), rs...)
+			sort.Ints(sorted)
+			rs = sorted
+		}
+		for _, ri := range rs {
 			out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
 		}
 	}
@@ -487,7 +501,8 @@ func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) 
 }
 
 // joinDisjunct adds the (left, right) index pairs satisfying one ON
-// disjunct to matches, skipping pairs already recorded in seen.
+// disjunct to matches, skipping pairs already recorded in seen. A nil seen
+// disables the dedup (single-disjunct joins cannot repeat a pair).
 func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen map[int64]bool) error {
 	conjs := sqlast.Conjuncts(d)
 	var leftKeys, rightKeys []compiledExpr
@@ -545,37 +560,45 @@ func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen
 				return
 			}
 		}
-		key := int64(li)<<32 | int64(ri)
-		if seen[key] {
-			return
+		if seen != nil {
+			key := int64(li)<<32 | int64(ri)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
 		}
-		seen[key] = true
 		matches[li] = append(matches[li], ri)
 	}
 
 	if len(leftKeys) > 0 {
 		// Hash join: build on the right, probe from the left. NULL keys
-		// never match per SQL equality semantics.
-		ht := make(map[string][]int)
+		// never match per SQL equality semantics. The build table is sized
+		// from the input cardinality up front, and both sides share one
+		// scratch buffer for composite keys; the probe side's
+		// map[string(buf)] lookups allocate nothing.
+		ht := make(map[string][]int, len(r.Rows))
+		var scratch []byte
 		for ri, rrow := range r.Rows {
 			if !passes(rightPred, rrow) {
 				continue
 			}
-			key, ok := hashKey(rightKeys, rrow)
+			key, ok := appendHashKey(scratch[:0], rightKeys, rrow)
+			scratch = key
 			if !ok {
 				continue
 			}
-			ht[key] = append(ht[key], ri)
+			ht[string(key)] = append(ht[string(key)], ri)
 		}
 		for li, lrow := range l.Rows {
 			if !passes(leftPred, lrow) {
 				continue
 			}
-			key, ok := hashKey(leftKeys, lrow)
+			key, ok := appendHashKey(scratch[:0], leftKeys, lrow)
+			scratch = key
 			if !ok {
 				continue
 			}
-			for _, ri := range ht[key] {
+			for _, ri := range ht[string(key)] {
 				record(li, ri, lrow, r.Rows[ri])
 			}
 		}
@@ -600,16 +623,18 @@ func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen
 	return nil
 }
 
-// hashKey builds the composite hash key of a row under the given key
-// expressions; ok is false when any key value is NULL.
-func hashKey(keys []compiledExpr, row table.Row) (string, bool) {
-	var b strings.Builder
+// appendHashKey appends the composite hash key of a row under the given key
+// expressions to dst; ok is false when any key value is NULL. Callers reuse
+// dst as a scratch buffer across rows and look maps up through the
+// allocation-free map[string(buf)] form, so the probe side of a hash join
+// allocates nothing per row.
+func appendHashKey(dst []byte, keys []compiledExpr, row table.Row) ([]byte, bool) {
 	for _, k := range keys {
 		v := k.eval(row)
 		if v.IsNull() {
-			return "", false
+			return dst, false
 		}
-		b.WriteString(v.HashKey())
+		dst = v.AppendHashKey(dst)
 	}
-	return b.String(), true
+	return dst, true
 }

@@ -1,0 +1,86 @@
+package sqlexec
+
+import (
+	"fmt"
+	"testing"
+
+	"silkroute/internal/schema"
+	"silkroute/internal/sqlast"
+	"silkroute/internal/sqlparse"
+	"silkroute/internal/table"
+	"silkroute/internal/value"
+)
+
+// benchCatalog builds a two-table catalog shaped like the paper's
+// order/lineitem fan-out: nOrders build-side rows, fanout matching probe
+// rows each, joined on a composite (int, string-ish) key so the hash keys
+// exercise every value kind the TPC-H queries use.
+func benchCatalog(nOrders, fanout int) Catalog {
+	s := schema.New()
+	ord := s.MustAddRelation("Ord", []string{"okey"},
+		schema.Column{Name: "okey", Type: value.KindInt},
+		schema.Column{Name: "clerk", Type: value.KindString},
+		schema.Column{Name: "total", Type: value.KindFloat})
+	li := s.MustAddRelation("Line", []string{"okey", "lnum"},
+		schema.Column{Name: "okey", Type: value.KindInt},
+		schema.Column{Name: "lnum", Type: value.KindInt},
+		schema.Column{Name: "qty", Type: value.KindInt})
+
+	to := table.New(ord)
+	for i := 0; i < nOrders; i++ {
+		to.MustInsert(value.Int(int64(i)), value.String(fmt.Sprintf("clerk-%03d", i%97)), value.Float(float64(i)*1.5))
+	}
+	tl := table.New(li)
+	for i := 0; i < nOrders; i++ {
+		for j := 0; j < fanout; j++ {
+			tl.MustInsert(value.Int(int64(i)), value.Int(int64(j)), value.Int(int64(i*j%50)))
+		}
+	}
+	return testCatalog{"ord": to, "line": tl}
+}
+
+// BenchmarkHashJoinAllocs measures per-operation allocations of the hash
+// join path; the allocation-lean composite keys (scratch buffer +
+// map[string(buf)] probes) must keep allocs/op well below the one-string-
+// per-probe-row baseline.
+func BenchmarkHashJoinAllocs(b *testing.B) {
+	cat := benchCatalog(1000, 4)
+	q, err := sqlparse.Parse(
+		"select o.okey, o.clerk, l.lnum, l.qty from Ord o, Line l where o.okey = l.okey order by o.okey, l.lnum")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := func(b *testing.B, q sqlast.Query) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := Run(cat, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(r.Rows) != 4000 {
+				b.Fatalf("join produced %d rows", len(r.Rows))
+			}
+		}
+	}
+	bench(b, q)
+}
+
+// BenchmarkHashJoinDisjunctiveAllocs covers the multi-disjunct ON path the
+// unified plans generate ("(cond and …) or (cond and …)"), which still
+// needs the cross-disjunct dedup map.
+func BenchmarkHashJoinDisjunctiveAllocs(b *testing.B) {
+	cat := benchCatalog(500, 4)
+	q, err := sqlparse.Parse(
+		"select o.okey, l.lnum from Ord o left outer join Line l" +
+			" on (o.okey = l.okey and l.lnum = 0) or (o.okey = l.okey and l.qty = 7)" +
+			" order by o.okey, l.lnum")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cat, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

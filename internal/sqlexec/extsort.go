@@ -70,6 +70,10 @@ func externalSort(rows []keyedRow, budget int) ([]keyedRow, error) {
 			os.Remove(name)
 		}
 	}()
+	// One encode buffer and frame header are reused across every row of
+	// every run; the buffer grows to the largest row once and stays there.
+	var buf []byte
+	var hdr [4]byte
 	for start := 0; start < len(rows); start += budget {
 		end := start + budget
 		if end > len(rows) {
@@ -83,12 +87,10 @@ func externalSort(rows []keyedRow, budget int) ([]keyedRow, error) {
 		}
 		runs = append(runs, f)
 		w := bufio.NewWriterSize(f, 256<<10)
-		var buf []byte
 		for _, kr := range chunk {
 			buf = buf[:0]
 			buf = value.EncodeRow(buf, kr.key)
 			buf = value.EncodeRow(buf, kr.row)
-			var hdr [4]byte
 			binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
 			if _, err := w.Write(hdr[:]); err != nil {
 				return nil, fmt.Errorf("sqlexec: spill write: %w", err)

@@ -83,6 +83,7 @@ func (t *Table) Stats() *Stats {
 		return t.stats
 	}
 	st := &Stats{RowCount: len(t.Rows), Columns: make([]ColumnStats, len(t.Rel.Columns))}
+	var scratch []byte // reused hash-key buffer; only new distinct values allocate
 	for c := range t.Rel.Columns {
 		distinct := make(map[string]struct{})
 		var nulls int
@@ -94,7 +95,10 @@ func (t *Table) Stats() *Stats {
 				nulls++
 				continue
 			}
-			distinct[v.HashKey()] = struct{}{}
+			scratch = v.AppendHashKey(scratch[:0])
+			if _, ok := distinct[string(scratch)]; !ok {
+				distinct[string(scratch)] = struct{}{}
+			}
 		}
 		cs := ColumnStats{Distinct: len(distinct), NullCount: nulls}
 		if len(t.Rows) > 0 {

@@ -84,20 +84,33 @@ func EncodeRow(dst []byte, row []Value) []byte {
 	return dst
 }
 
+// DecodeRowPrefix decodes exactly n values from the front of buf, returning
+// the row and the number of bytes consumed. Unlike DecodeRow it permits
+// trailing bytes, so several rows can be packed into one wire frame and
+// peeled off one at a time.
+func DecodeRowPrefix(buf []byte, n int) ([]Value, int, error) {
+	row := make([]Value, 0, n)
+	used := 0
+	for i := 0; i < n; i++ {
+		v, u, err := Decode(buf[used:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("value: column %d: %w", i, err)
+		}
+		row = append(row, v)
+		used += u
+	}
+	return row, used, nil
+}
+
 // DecodeRow decodes exactly n values from buf. It returns an error if buf
 // holds fewer than n encodings or has trailing bytes.
 func DecodeRow(buf []byte, n int) ([]Value, error) {
-	row := make([]Value, 0, n)
-	for i := 0; i < n; i++ {
-		v, used, err := Decode(buf)
-		if err != nil {
-			return nil, fmt.Errorf("value: column %d: %w", i, err)
-		}
-		row = append(row, v)
-		buf = buf[used:]
+	row, used, err := DecodeRowPrefix(buf, n)
+	if err != nil {
+		return nil, err
 	}
-	if len(buf) != 0 {
-		return nil, fmt.Errorf("value: %d trailing bytes after %d columns", len(buf), n)
+	if used != len(buf) {
+		return nil, fmt.Errorf("value: %d trailing bytes after %d columns", len(buf)-used, n)
 	}
 	return row, nil
 }

@@ -222,22 +222,35 @@ func Identical(a, b Value) bool {
 // never matches (callers must exclude NULLs per SQL join semantics before
 // probing, and the engine does).
 func (v Value) HashKey() string {
+	return string(v.AppendHashKey(nil))
+}
+
+// AppendHashKey appends the HashKey bytes of v to dst and returns the
+// extended slice. Hot paths (hash joins, distinct counting) build composite
+// keys into a reusable scratch buffer with it and probe maps through the
+// allocation-free map[string(buf)] form instead of materializing a string
+// per row.
+func (v Value) AppendHashKey(dst []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00N"
+		return append(dst, 0, 'N')
 	case KindInt:
-		return "\x00I" + strconv.FormatInt(v.i, 10)
+		dst = append(dst, 0, 'I')
+		return strconv.AppendInt(dst, v.i, 10)
 	case KindFloat:
 		// Normalize integral floats to the int representation so 1 and 1.0
 		// hash identically, matching Compare.
 		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e18 {
-			return "\x00I" + strconv.FormatInt(int64(v.f), 10)
+			dst = append(dst, 0, 'I')
+			return strconv.AppendInt(dst, int64(v.f), 10)
 		}
-		return "\x00F" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		dst = append(dst, 0, 'F')
+		return strconv.AppendFloat(dst, v.f, 'b', -1, 64)
 	case KindString:
-		return "\x00S" + v.s
+		dst = append(dst, 0, 'S')
+		return append(dst, v.s...)
 	}
-	return "\x00?"
+	return append(dst, 0, '?')
 }
 
 // Parse converts a CSV/text field into a Value, inferring the narrowest

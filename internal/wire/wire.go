@@ -16,11 +16,21 @@
 //	                  'Q' to execute, 'E' to ask the optimizer for a
 //	                  cost/cardinality estimate (the oracle of §5)
 //	server → client:  for 'Q': status frame 'E' + message, or
-//	                  'C' + uint16 column count + length-prefixed names,
-//	                  then one frame per row (encoded values),
+//	                  'C' + uint16 column count + length-prefixed names
+//	                  (flushed immediately, so time-to-first-row stays
+//	                  honest), then row-batch frames — each frame holds the
+//	                  concatenated encodings of one or more rows, batched
+//	                  until batchMaxRows rows or batchFlushBytes bytes —
 //	                  then an empty frame terminating the stream;
 //	                  for 'E': 'V' + three big-endian float64 values
 //	                  (cost, rows, width), or 'E' + message
+//
+// The value encoding is self-delimiting, so the client peels rows off a
+// batch frame one at a time; a frame with exactly one row is the degenerate
+// batch, which keeps the framing compatible with one-row-per-frame peers.
+// Batching amortizes the per-frame header and syscall across rows — the
+// per-tuple bind cost the paper measures is the decode, which is still paid
+// per row.
 //
 // One connection carries one request; a plan with k tuple streams opens k
 // connections, exactly as the paper's client opened k JDBC result sets.
@@ -40,6 +50,13 @@ import (
 
 // maxFrame bounds a single frame; a row larger than this indicates a bug.
 const maxFrame = 64 << 20
+
+// Row-batch flush policy: a batch frame is emitted when it holds
+// batchMaxRows rows or batchFlushBytes of payload, whichever comes first.
+const (
+	batchMaxRows    = 256
+	batchFlushBytes = 32 << 10
+)
 
 func writeFrame(w *bufio.Writer, payload []byte) error {
 	var hdr [4]byte
@@ -113,7 +130,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 		return
 	}
 
-	// Status frame with column names.
+	// Status frame with column names, flushed immediately: the query has
+	// executed, and the client's Query() measures time to this frame, so it
+	// must not sit in the write buffer behind row batches.
 	hdr := []byte{'C'}
 	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(res.Columns)))
 	for _, c := range res.Columns {
@@ -123,15 +142,30 @@ func (s *Server) ServeConn(conn net.Conn) {
 	if err := writeFrame(bw, hdr); err != nil {
 		return
 	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
 
-	var rowBuf []byte
+	// Rows ride in batch frames; the encode buffer is reused throughout.
+	var batch []byte
+	batched := 0
 	for {
 		row, ok := res.Next()
 		if !ok {
 			break
 		}
-		rowBuf = value.EncodeRow(rowBuf[:0], row)
-		if err := writeFrame(bw, rowBuf); err != nil {
+		batch = value.EncodeRow(batch, row)
+		batched++
+		if batched >= batchMaxRows || len(batch) >= batchFlushBytes {
+			if err := writeFrame(bw, batch); err != nil {
+				return
+			}
+			batch = batch[:0]
+			batched = 0
+		}
+	}
+	if batched > 0 {
+		if err := writeFrame(bw, batch); err != nil {
 			return
 		}
 	}
@@ -170,10 +204,12 @@ type Rows struct {
 	// RowCount counts rows decoded so far.
 	RowCount int64
 
-	conn net.Conn
-	br   *bufio.Reader
-	buf  []byte
-	done bool
+	conn   net.Conn
+	br     *bufio.Reader
+	buf    []byte // current batch frame, reused across reads
+	off    int    // decode offset of the next row within buf
+	done   bool
+	closed bool
 }
 
 // Query submits sql and returns the stream positioned before the first row.
@@ -240,37 +276,49 @@ func (c *Client) Query(sql string) (*Rows, error) {
 
 // Next binds and returns the next row, or io.EOF after the last row. The
 // decode here is the per-tuple "binding" cost the paper attributes to the
-// client.
+// client: rows arrive packed several to a frame, but each is decoded
+// individually.
 func (r *Rows) Next() ([]value.Value, error) {
 	if r.done {
 		return nil, io.EOF
 	}
-	frame, err := readFrame(r.br, r.buf)
-	if err != nil {
-		r.done = true
-		r.conn.Close()
-		return nil, fmt.Errorf("wire: read row: %w", err)
+	for r.off >= len(r.buf) {
+		frame, err := readFrame(r.br, r.buf)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("wire: read row: %w", err)
+		}
+		r.buf, r.off = frame, 0
+		if len(frame) == 0 {
+			r.Close()
+			return nil, io.EOF
+		}
+		r.BytesRead += int64(len(frame))
 	}
-	r.buf = frame
-	if len(frame) == 0 {
-		r.done = true
-		r.conn.Close()
-		return nil, io.EOF
-	}
-	r.BytesRead += int64(len(frame))
-	row, err := value.DecodeRow(frame, len(r.Columns))
+	row, used, err := value.DecodeRowPrefix(r.buf[r.off:], len(r.Columns))
 	if err != nil {
-		r.done = true
-		r.conn.Close()
+		r.Close()
 		return nil, err
+	}
+	r.off += used
+	if used == 0 {
+		// Zero-column rows consume no bytes; treat the frame as one row so
+		// the stream still terminates.
+		r.off = len(r.buf)
 	}
 	r.RowCount++
 	return row, nil
 }
 
-// Close releases the stream's connection early.
+// Close releases the stream's connection. It is idempotent, so plan
+// executors can close every stream unconditionally after tagging without
+// tripping over streams that already closed themselves at EOF.
 func (r *Rows) Close() error {
 	r.done = true
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	return r.conn.Close()
 }
 

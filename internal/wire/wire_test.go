@@ -168,6 +168,45 @@ func TestCloseEarlyDoesNotHang(t *testing.T) {
 	}
 }
 
+func TestBatchedFrames(t *testing.T) {
+	// More rows than batchMaxRows forces the server to emit several batch
+	// frames; the client must peel individual rows back out, in order, and
+	// Close must stay idempotent afterwards.
+	s := schema.New()
+	s.MustAddRelation("Seq", []string{"k"},
+		schema.Column{Name: "k", Type: value.KindInt},
+		schema.Column{Name: "label", Type: value.KindString})
+	db := engine.NewDatabase(s)
+	n := batchMaxRows*2 + 17
+	for i := 0; i < n; i++ {
+		db.MustTable("Seq").MustInsert(value.Int(int64(i)), value.String(fmt.Sprintf("row-%d", i)))
+	}
+
+	client := InProcess(db)
+	rows, err := client.Query("select s.k, s.label from Seq s order by s.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, rows)
+	if len(got) != n {
+		t.Fatalf("got %d rows, want %d", len(got), n)
+	}
+	for i, r := range got {
+		if r[0].AsInt() != int64(i) || r[1].AsString() != fmt.Sprintf("row-%d", i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+	if rows.RowCount != int64(n) {
+		t.Errorf("RowCount = %d, want %d", rows.RowCount, n)
+	}
+	if err := rows.Close(); err != nil {
+		t.Errorf("Close after EOF: %v", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
 func TestDialFailure(t *testing.T) {
 	client := NewClient(func() (net.Conn, error) {
 		return nil, fmt.Errorf("synthetic dial failure")

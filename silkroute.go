@@ -186,6 +186,12 @@ type View struct {
 	// Reduce applies view-tree reduction (§3.5). On by default; reduction
 	// alone speeds plans up ~2.5× in the paper's measurements.
 	Reduce bool
+	// Parallelism bounds how many partition queries run concurrently when
+	// the view materializes against a local database, and how many
+	// candidate queries the Greedy planner costs at once. 0 (the default)
+	// means one worker per CPU; 1 forces strictly serial execution. The
+	// document and the planner's choices are identical at every setting.
+	Parallelism int
 }
 
 // ParseView compiles an RXL view definition against the database's schema.
@@ -222,9 +228,12 @@ func (v *View) EdgeLabels() []string {
 type Report struct {
 	Strategy  Strategy
 	Streams   int           // SQL queries (tuple streams) executed
-	QueryTime time.Duration // until all queries were executed server-side
-	TotalTime time.Duration // until the document was fully written
-	Rows      int64         // tuples transferred
+	QueryTime time.Duration // summed server-side execution time of all queries
+	// QueryWallTime is the elapsed wall clock of the query phase; with
+	// parallel execution it is shorter than QueryTime.
+	QueryWallTime time.Duration
+	TotalTime     time.Duration // until the document was fully written
+	Rows          int64         // tuples transferred
 	SQL       []string      // the generated SQL, one statement per stream
 	// GreedyMandatory/GreedyOptional are set for the Greedy strategy: the
 	// edge indices the planner chose.
@@ -284,7 +293,9 @@ func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
 			v.db.ResetEstimateRequests()
 			oracle = v.db.eng
 		}
-		res, err := plan.Greedy(oracle, v.tree, plan.DefaultGreedyParams(v.Reduce))
+		prm := plan.DefaultGreedyParams(v.Reduce)
+		prm.Parallelism = v.Parallelism
+		res, err := plan.Greedy(oracle, v.tree, prm)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -297,7 +308,7 @@ func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
 		} else if !ok {
 			// Fall back to the best family member (or the always-legal
 			// fully partitioned plan) the target can execute.
-			best, err = plan.BestPermissible(oracle, v.tree, plan.DefaultGreedyParams(v.Reduce), caps)
+			best, err = plan.BestPermissible(oracle, v.tree, prm, caps)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -317,6 +328,7 @@ func (v *View) execute(w io.Writer, p *plan.Plan, rep *Report) (*Report, error) 
 		rep.SQL = append(rep.SQL, st.SQL())
 	}
 	p.Wrapper = v.Wrapper
+	p.Parallelism = v.Parallelism
 	var m plan.Metrics
 	if v.remote != nil {
 		m, err = plan.ExecuteWire(v.remote.client, p, w)
@@ -328,6 +340,7 @@ func (v *View) execute(w io.Writer, p *plan.Plan, rep *Report) (*Report, error) 
 	}
 	rep.Streams = m.Streams
 	rep.QueryTime = m.QueryTime
+	rep.QueryWallTime = m.QueryWallTime
 	rep.TotalTime = m.TotalTime
 	rep.Rows = m.Rows
 	return rep, nil

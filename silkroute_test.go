@@ -81,6 +81,38 @@ func TestMaterializeAllStrategiesAgree(t *testing.T) {
 	}
 }
 
+func TestMaterializeParallelismKnob(t *testing.T) {
+	db := libraryDB(t)
+	v, err := ParseView(db, libraryView)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialBuf bytes.Buffer
+	if _, err := v.Materialize(&serialBuf, FullyPartitioned); err != nil {
+		t.Fatal(err)
+	}
+	v.Parallelism = 4
+	var parBuf bytes.Buffer
+	rep, err := v.Materialize(&parBuf, FullyPartitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parBuf.String() != serialBuf.String() {
+		t.Errorf("parallel materialization differs:\n got: %s\nwant: %s", parBuf.String(), serialBuf.String())
+	}
+	if rep.QueryWallTime <= 0 {
+		t.Errorf("QueryWallTime = %v, want > 0", rep.QueryWallTime)
+	}
+	// Greedy must accept the knob too (it bounds estimate concurrency).
+	var greedyBuf bytes.Buffer
+	if _, err := v.Materialize(&greedyBuf, Greedy); err != nil {
+		t.Fatal(err)
+	}
+	if greedyBuf.String() != serialBuf.String() {
+		t.Error("parallel greedy materialization differs from serial document")
+	}
+}
+
 func TestStrategyNames(t *testing.T) {
 	names := map[Strategy]string{
 		Unified: "unified", OuterUnion: "outer-union",
