@@ -67,7 +67,7 @@ func runWire(b *testing.B, e *benchEnv, p *plan.Plan) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		m, err := plan.ExecuteWire(e.client, p, io.Discard)
+		m, err := plan.ExecuteWire(ctx, e.client, p, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func runWire(b *testing.B, e *benchEnv, p *plan.Plan) {
 
 func greedyPlan(b *testing.B, e *benchEnv, t *viewtree.Tree) *plan.Plan {
 	b.Helper()
-	res, err := plan.Greedy(e.db, t, plan.DefaultGreedyParams(true))
+	res, err := plan.Greedy(ctx, e.db, t, plan.DefaultGreedyParams(true))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func BenchmarkFig18_GreedySearch(b *testing.B) {
 			b.Run(name, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := plan.Greedy(e.db, q.tree, plan.DefaultGreedyParams(reduce)); err != nil {
+					if _, err := plan.Greedy(ctx, e.db, q.tree, plan.DefaultGreedyParams(reduce)); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -228,12 +228,12 @@ func BenchmarkAblationGreedyCoefficients(b *testing.B) {
 			prm := plan.DefaultGreedyParams(true)
 			prm.A, prm.B = ab.a, ab.b
 			for i := 0; i < b.N; i++ {
-				res, err := plan.Greedy(e.db, e.tree1, prm)
+				res, err := plan.Greedy(ctx, e.db, e.tree1, prm)
 				if err != nil {
 					b.Fatal(err)
 				}
 				p := res.BestPlan(e.tree1)
-				if _, err := plan.ExecuteWire(e.client, p, io.Discard); err != nil {
+				if _, err := plan.ExecuteWire(ctx, e.client, p, io.Discard); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -252,7 +252,7 @@ func BenchmarkTaggerConstantSpace(b *testing.B) {
 			b.ReportAllocs()
 			var rows int64
 			for i := 0; i < b.N; i++ {
-				m, err := plan.ExecuteWire(e.client, p, io.Discard)
+				m, err := plan.ExecuteWire(ctx, e.client, p, io.Discard)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -277,7 +277,7 @@ func BenchmarkWireTransfer(b *testing.B) {
 	sql := "select l.orderkey, l.partkey, l.suppkey, l.lno, l.qty, l.prc from LineItem l order by l.orderkey, l.lno"
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rows, err := e.client.Query(sql)
+		rows, err := e.client.Query(ctx, sql)
 		if err != nil {
 			b.Fatal(err)
 		}

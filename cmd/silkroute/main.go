@@ -19,10 +19,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"silkroute"
 	"silkroute/internal/rxl"
@@ -38,9 +41,15 @@ func main() {
 	explain := flag.Bool("explain", false, "print the plan and SQL to stderr")
 	noReduce := flag.Bool("no-reduce", false, "disable view-tree reduction")
 	parallelism := flag.Int("parallelism", 0, "concurrent partition queries (0 = one per CPU, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort materialization after this long (0 = no limit)")
 	serve := flag.String("serve", "", "run as a database server on this address instead of materializing")
 	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
 	flag.Parse()
+
+	// Interrupt (^C) or SIGTERM cancels the context; every layer below —
+	// planner, SQL engine, wire client — unwinds promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *serve != "" {
 		db := loadDB(*scale, *seed, *data)
@@ -49,8 +58,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "silkroute: serving database on %s\n", l.Addr())
-		fatal(db.Serve(l))
+		if err := db.ServeContext(ctx, l); err != nil {
+			fatal(err)
+		}
 		return
+	}
+
+	strat, err := silkroute.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
 	}
 
 	src, err := viewSource(*queryName, *viewFile)
@@ -58,29 +74,34 @@ func main() {
 		fatal(err)
 	}
 
+	opts := []silkroute.Option{
+		silkroute.WithReduce(!*noReduce),
+		silkroute.WithParallelism(*parallelism),
+	}
+
 	var view *silkroute.View
 	if *connect != "" {
 		// Remote middleware mode: the TPC-H schema is the local source
 		// description; data and optimizer live on the server.
-		remote := silkroute.ConnectTCP(*connect)
-		view, err = silkroute.ParseRemoteView(remote, silkroute.TPCHSourceDescription(), src)
+		remote := silkroute.ConnectTCP(*connect, opts...)
+		defer remote.Close()
+		view, err = silkroute.ParseRemoteView(remote, silkroute.TPCHSourceDescription(), src, opts...)
 	} else {
 		db := loadDB(*scale, *seed, *data)
-		view, err = silkroute.ParseView(db, src)
+		view, err = silkroute.ParseView(db, src, opts...)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	view.Reduce = !*noReduce
-	view.Parallelism = *parallelism
 
-	strat, err := parseStrategy(*strategy)
-	if err != nil {
-		fatal(err)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	out := bufio.NewWriter(os.Stdout)
-	rep, err := view.Materialize(out, strat)
+	rep, err := view.Materialize(ctx, out, strat)
 	if err != nil {
 		fatal(err)
 	}
@@ -131,23 +152,6 @@ func viewSource(queryName, viewFile string) (string, error) {
 		return "", fmt.Errorf("specify -query q1|q2|fragment or -view file.rxl")
 	default:
 		return "", fmt.Errorf("unknown built-in query %q", queryName)
-	}
-}
-
-func parseStrategy(s string) (silkroute.Strategy, error) {
-	switch s {
-	case "unified":
-		return silkroute.Unified, nil
-	case "unified-cte":
-		return silkroute.UnifiedCTE, nil
-	case "outer-union":
-		return silkroute.OuterUnion, nil
-	case "fully-partitioned":
-		return silkroute.FullyPartitioned, nil
-	case "greedy":
-		return silkroute.Greedy, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q", s)
 	}
 }
 

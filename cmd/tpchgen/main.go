@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"silkroute/internal/tpch"
 )
@@ -20,6 +23,10 @@ func main() {
 	out := flag.String("out", "tpch-data", "output directory for <Relation>.csv files")
 	flag.Parse()
 
+	// ^C stops between relations, leaving already-written files intact.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	db := tpch.Generate(*scale, *seed)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -27,6 +34,10 @@ func main() {
 	}
 	var totalRows int
 	for _, name := range db.Schema.RelationNames() {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "tpchgen: interrupted:", err)
+			os.Exit(1)
+		}
 		t := db.MustTable(name)
 		f, err := os.Create(fmt.Sprintf("%s/%s.csv", *out, name))
 		if err != nil {

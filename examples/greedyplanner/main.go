@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 0.002, "TPC-H scale factor")
 	which := flag.Int("q", 1, "paper query: 1 or 2")
 	flag.Parse()
+	ctx := context.Background()
 
 	src := rxl.Query1Source
 	if *which == 2 {
@@ -39,7 +41,7 @@ func main() {
 		fmt.Printf("  edge %d: %s\n", i, e)
 	}
 
-	rep, err := view.Materialize(io.Discard, silkroute.Greedy)
+	rep, err := view.Materialize(ctx, io.Discard, silkroute.Greedy)
 	if err != nil {
 		log.Fatal(err)
 	}

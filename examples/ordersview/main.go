@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.005, "TPC-H scale factor")
 	flag.Parse()
+	ctx := context.Background()
 
 	db := silkroute.OpenTPCH(*scale, 42)
 	view, err := silkroute.ParseView(db, rxl.Query2Source)
@@ -45,7 +47,7 @@ func main() {
 		silkroute.OuterUnion,
 		silkroute.Greedy,
 	} {
-		rep, err := view.Materialize(io.Discard, strat)
+		rep, err := view.Materialize(ctx, io.Discard, strat)
 		if err != nil {
 			log.Fatalf("%s: %v", strat, err)
 		}
@@ -56,7 +58,7 @@ func main() {
 	// cut — bits 0,1,2 and 5..8 kept, 3 and 4 cut. (Compare with what the
 	// greedy strategy chose above.)
 	const custom = 0b111100111
-	rep, err := view.MaterializePlan(io.Discard, custom)
+	rep, err := view.MaterializePlan(ctx, io.Discard, custom)
 	if err != nil {
 		log.Fatal(err)
 	}

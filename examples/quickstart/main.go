@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Declare the relational schema: relations, keys, and the foreign
 	// keys whose totality tells the planner which child elements are
 	// guaranteed to exist ('1' edges) versus optional ('*' edges).
@@ -49,16 +52,15 @@ func main() {
 	    construct <book><title>$b.title</title><year>$b.year</year></book> }
 	</author>`
 
-	v, err := silkroute.ParseView(db, view)
+	v, err := silkroute.ParseView(db, view, silkroute.WithWrapper("authors"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	v.Wrapper = "authors"
 
 	// 4. Materialize. The Greedy strategy asks the engine's optimizer for
 	// cost estimates and picks a near-optimal decomposition into SQL
 	// queries; try Unified or FullyPartitioned to compare.
-	report, err := v.Materialize(os.Stdout, silkroute.Greedy)
+	report, err := v.Materialize(ctx, os.Stdout, silkroute.Greedy)
 	if err != nil {
 		log.Fatal(err)
 	}

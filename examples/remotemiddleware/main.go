@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"time"
 
 	"silkroute"
 	"silkroute/internal/rxl"
@@ -24,6 +26,11 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.002, "TPC-H scale factor on the server side")
 	flag.Parse()
+
+	// A deadline on the whole run: if the server stalls, the middleware
+	// returns context.DeadlineExceeded instead of hanging.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	// Server side: the target database with its optimizer.
 	db := silkroute.OpenTPCH(*scale, 42)
@@ -44,7 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep, err := view.Materialize(io.Discard, silkroute.Greedy)
+	rep, err := view.Materialize(ctx, io.Discard, silkroute.Greedy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,8 +70,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	remoteDoc := capture(view)
-	localDoc := capture(local)
+	remoteDoc := capture(ctx, view)
+	localDoc := capture(ctx, local)
 	if remoteDoc == localDoc {
 		fmt.Printf("remote and local documents identical (%d bytes)\n", len(remoteDoc))
 	} else {
@@ -72,9 +79,9 @@ func main() {
 	}
 }
 
-func capture(v *silkroute.View) string {
+func capture(ctx context.Context, v *silkroute.View) string {
 	var sb stringBuilder
-	if _, err := v.Materialize(&sb, silkroute.Unified); err != nil {
+	if _, err := v.Materialize(ctx, &sb, silkroute.Unified); err != nil {
 		log.Fatal(err)
 	}
 	return sb.s

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ func main() {
 	scale := flag.Float64("scale", 0.005, "TPC-H scale factor")
 	out := flag.String("out", "", "write the greedy strategy's document to this file")
 	flag.Parse()
+	ctx := context.Background()
 
 	db := silkroute.OpenTPCH(*scale, 42)
 	suppliers, _ := db.RowCount("Supplier")
@@ -57,7 +59,7 @@ func main() {
 			}
 			sink = bufio.NewWriter(file)
 		}
-		rep, err := view.Materialize(sink, strat)
+		rep, err := view.Materialize(ctx, sink, strat)
 		if err != nil {
 			log.Fatalf("%s: %v", strat, err)
 		}

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -111,15 +112,16 @@ func NewRunner(db *engine.Database) *Runner {
 	return &Runner{DB: db, Client: wire.InProcess(db), Repeat: 1}
 }
 
-// Run executes one plan and measures it.
-func (r *Runner) Run(p *plan.Plan, bits uint64) (PlanResult, error) {
+// Run executes one plan and measures it. Cancelling ctx aborts the
+// measurement mid-plan.
+func (r *Runner) Run(ctx context.Context, p *plan.Plan, bits uint64) (PlanResult, error) {
 	repeat := r.Repeat
 	if repeat < 1 {
 		repeat = 1
 	}
 	var best PlanResult
 	for i := 0; i < repeat; i++ {
-		m, err := plan.ExecuteWire(r.Client, p, io.Discard)
+		m, err := plan.ExecuteWire(ctx, r.Client, p, io.Discard)
 		if err != nil {
 			return PlanResult{}, err
 		}
@@ -147,11 +149,11 @@ func (r *Runner) Run(p *plan.Plan, bits uint64) (PlanResult, error) {
 // harness by default). progress, if non-nil, receives a line every 64
 // plans. With Runner.Parallelism > 1 the plans are measured under a worker
 // pool; the result slice is in bitmask order regardless.
-func (r *Runner) Sweep(t *viewtree.Tree, reduce bool, progress io.Writer) ([]PlanResult, error) {
+func (r *Runner) Sweep(ctx context.Context, t *viewtree.Tree, reduce bool, progress io.Writer) ([]PlanResult, error) {
 	if r.Parallelism <= 1 {
 		var out []PlanResult
 		err := plan.Enumerate(t, reduce, func(bits uint64, p *plan.Plan) error {
-			res, err := r.Run(p, bits)
+			res, err := r.Run(ctx, p, bits)
 			if err != nil {
 				return fmt.Errorf("plan %b: %w", bits, err)
 			}
@@ -187,7 +189,7 @@ func (r *Runner) Sweep(t *viewtree.Tree, reduce bool, progress io.Writer) ([]Pla
 					return
 				}
 				bits := uint64(i)
-				res, err := r.Run(plan.FromBits(t, bits, reduce), bits)
+				res, err := r.Run(ctx, plan.FromBits(t, bits, reduce), bits)
 				if err != nil {
 					errs[i] = fmt.Errorf("plan %b: %w", bits, err)
 				} else {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,8 @@ import (
 
 	"silkroute/internal/plan"
 )
+
+var ctx = context.Background()
 
 func TestStatsHelpers(t *testing.T) {
 	results := []PlanResult{
@@ -61,7 +64,7 @@ func TestRunnerMeasuresPlan(t *testing.T) {
 	}
 	run := NewRunner(db)
 	run.Repeat = 2
-	res, err := run.Run(plan.FullyPartitioned(tree), 0)
+	res, err := run.Run(ctx, plan.FullyPartitioned(tree), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +90,14 @@ func TestParallelSweepMatchesSerialOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	serialRun := NewRunner(db)
-	serial, err := serialRun.Sweep(tree, true, nil)
+	serial, err := serialRun.Sweep(ctx, tree, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	parRun := NewRunner(db)
 	parRun.Parallelism = 4
 	var progress bytes.Buffer
-	par, err := parRun.Sweep(tree, true, &progress)
+	par, err := parRun.Sweep(ctx, tree, true, &progress)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +126,7 @@ func TestRunnerTimeoutFlags(t *testing.T) {
 	}
 	run := NewRunner(db)
 	run.Timeout = 1 // nanosecond-scale: everything times out
-	res, err := run.Run(plan.FullyPartitioned(tree), 0)
+	res, err := run.Run(ctx, plan.FullyPartitioned(tree), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -21,6 +22,10 @@ import (
 // Fig. 18 rank checks) measure each plan once.
 type Suite struct {
 	Out io.Writer
+	// Context, when non-nil, governs every plan execution and greedy search
+	// the suite runs; cancelling it aborts a long experiment batch between
+	// (and inside) measurements. Nil means context.Background().
+	Context context.Context
 	// ScaleB overrides Config B's scale factor (the full 0.1 sweep takes
 	// minutes; smaller values keep the shape).
 	ScaleB float64
@@ -42,6 +47,14 @@ type Suite struct {
 func NewSuite(out io.Writer) *Suite {
 	return &Suite{Out: out, ScaleB: ConfigB.Scale, Repeat: 1,
 		trees: make(map[int]*viewtree.Tree), sweeps: make(map[string][]PlanResult)}
+}
+
+// ctx returns the suite's context, defaulting to Background.
+func (s *Suite) ctx() context.Context {
+	if s.Context != nil {
+		return s.Context
+	}
+	return context.Background()
 }
 
 func (s *Suite) configA() (*engine.Database, *Runner) {
@@ -87,7 +100,7 @@ func (s *Suite) sweep(which int, reduce bool) ([]PlanResult, error) {
 	_, run := s.configA()
 	fmt.Fprintf(s.Out, "[sweep] Query %d, reduce=%v: measuring %d plans on Config A …\n",
 		which, reduce, 1<<uint(len(t.Edges)))
-	res, err := run.Sweep(t, reduce, nil)
+	res, err := run.Sweep(s.ctx(), t, reduce, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +118,7 @@ func (s *Suite) outerUnion(which int, reduce bool) (PlanResult, error) {
 		return PlanResult{}, err
 	}
 	_, run := s.configA()
-	return run.Run(plan.UnifiedOuterUnion(t, reduce), 1<<uint(len(t.Edges)))
+	return run.Run(s.ctx(), plan.UnifiedOuterUnion(t, reduce), 1<<uint(len(t.Edges)))
 }
 
 // Table1 prints the experimental configurations.
@@ -134,7 +147,7 @@ func (s *Suite) Sec2() error {
 	if err != nil {
 		return err
 	}
-	greedy, err := plan.Greedy(db, t, s.greedyParams(plan.DefaultGreedyParams(true)))
+	greedy, err := plan.Greedy(s.ctx(), db, t, s.greedyParams(plan.DefaultGreedyParams(true)))
 	if err != nil {
 		return err
 	}
@@ -150,7 +163,7 @@ func (s *Suite) Sec2() error {
 	fmt.Fprintf(s.Out, "== §2 table: Query 1 on Config B (scale %g) ==\n", s.ScaleB)
 	fmt.Fprintf(s.Out, "%-22s %-12s %-14s %-14s %s\n", "Plan", "No. queries", "Total (ms)", "Query (ms)", "Rows")
 	for _, r := range rows {
-		res, err := run.Run(r.p, 0)
+		res, err := run.Run(s.ctx(), r.p, 0)
 		if err != nil {
 			return err
 		}
@@ -282,7 +295,7 @@ func (s *Suite) Fig15() error {
 		if err != nil {
 			return err
 		}
-		res, err := plan.Greedy(db, t, s.greedyParams(GreedyFamilyParams(s.ScaleB, true)))
+		res, err := plan.Greedy(s.ctx(), db, t, s.greedyParams(GreedyFamilyParams(s.ScaleB, true)))
 		if err != nil {
 			return err
 		}
@@ -292,7 +305,7 @@ func (s *Suite) Fig15() error {
 		fmt.Fprintf(s.Out, "%-26s %-9s %-12s %-12s\n", "plan", "streams", "query(ms)", "total(ms)")
 		bestQ, bestT := math.Inf(1), math.Inf(1)
 		for i, p := range family {
-			r, err := run.Run(p, uint64(i))
+			r, err := run.Run(s.ctx(), p, uint64(i))
 			if err != nil {
 				return err
 			}
@@ -300,11 +313,11 @@ func (s *Suite) Fig15() error {
 			bestT = math.Min(bestT, r.TotalMS)
 			fmt.Fprintf(s.Out, "greedy #%-17d %-9d %-12.1f %-12.1f\n", i, r.Streams, r.QueryMS, r.TotalMS)
 		}
-		ou, err := run.Run(plan.UnifiedOuterUnion(t, true), 0)
+		ou, err := run.Run(s.ctx(), plan.UnifiedOuterUnion(t, true), 0)
 		if err != nil {
 			return err
 		}
-		fp, err := run.Run(plan.FullyPartitioned(t), 0)
+		fp, err := run.Run(s.ctx(), plan.FullyPartitioned(t), 0)
 		if err != nil {
 			return err
 		}
@@ -329,7 +342,7 @@ func (s *Suite) Fig18() error {
 			return err
 		}
 		for _, reduce := range []bool{false, true} {
-			res, err := plan.Greedy(db, t, s.greedyParams(GreedyFamilyParams(ConfigA.Scale, reduce)))
+			res, err := plan.Greedy(s.ctx(), db, t, s.greedyParams(GreedyFamilyParams(ConfigA.Scale, reduce)))
 			if err != nil {
 				return err
 			}
@@ -370,7 +383,7 @@ func (s *Suite) GreedyStats() error {
 		}
 		for _, reduce := range []bool{false, true} {
 			db.ResetEstimateRequests()
-			res, err := plan.Greedy(db, t, s.greedyParams(plan.DefaultGreedyParams(reduce)))
+			res, err := plan.Greedy(s.ctx(), db, t, s.greedyParams(plan.DefaultGreedyParams(reduce)))
 			if err != nil {
 				return err
 			}
@@ -455,7 +468,7 @@ func (s *Suite) SpillAblation() error {
 		if err != nil {
 			return err
 		}
-		greedy, err := plan.Greedy(db, t, s.greedyParams(plan.DefaultGreedyParams(true)))
+		greedy, err := plan.Greedy(s.ctx(), db, t, s.greedyParams(plan.DefaultGreedyParams(true)))
 		if err != nil {
 			return err
 		}
@@ -470,7 +483,7 @@ func (s *Suite) SpillAblation() error {
 			{"greedy (optimal)", greedy.BestPlan(t)},
 			{"unified outer-join", plan.Unified(t, true)},
 		} {
-			res, err := run.Run(row.p, 0)
+			res, err := run.Run(s.ctx(), row.p, 0)
 			if err != nil {
 				return err
 			}

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -108,18 +109,32 @@ func (r *Result) Next() (table.Row, bool) {
 // Reset rewinds the cursor to the first row.
 func (r *Result) Reset() { r.pos = 0 }
 
-// Execute parses and runs one SQL statement.
+// Execute parses and runs one SQL statement without a deadline; it is
+// ExecuteContext with context.Background().
 func (db *Database) Execute(sql string) (*Result, error) {
+	return db.ExecuteContext(context.Background(), sql)
+}
+
+// ExecuteContext parses and runs one SQL statement under a context. The
+// executor checks the context between row batches and external-sort runs,
+// so cancellation interrupts a running query promptly with an error
+// satisfying errors.Is(err, ctx.Err()).
+func (db *Database) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecuteQuery(q)
+	return db.ExecuteQueryContext(ctx, q)
 }
 
-// ExecuteQuery runs an already-parsed statement.
+// ExecuteQuery runs an already-parsed statement without a deadline.
 func (db *Database) ExecuteQuery(q sqlast.Query) (*Result, error) {
-	rel, err := sqlexec.Run(db, q)
+	return db.ExecuteQueryContext(context.Background(), q)
+}
+
+// ExecuteQueryContext runs an already-parsed statement under a context.
+func (db *Database) ExecuteQueryContext(ctx context.Context, q sqlast.Query) (*Result, error) {
+	rel, err := sqlexec.RunContext(ctx, db, q)
 	if err != nil {
 		return nil, err
 	}

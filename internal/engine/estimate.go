@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -23,17 +24,25 @@ type Estimate struct {
 func (e Estimate) DataSize() float64 { return e.Rows * e.Width }
 
 // EstimateSQL estimates the cost of a SQL string without executing it.
+// Estimation is pure computation over table statistics, so it takes no
+// context; the wire layer applies its own request deadline around it.
 func (db *Database) EstimateSQL(sql string) (Estimate, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return db.EstimateQuery(q)
+	return db.EstimateQuery(context.Background(), q)
 }
 
 // EstimateQuery estimates an already-parsed query. Every call increments
-// the estimate-request counter that §5.1's experiment reports.
-func (db *Database) EstimateQuery(q sqlast.Query) (Estimate, error) {
+// the estimate-request counter that §5.1's experiment reports. The context
+// lets the database stand in for a remote oracle (plan.Oracle) whose
+// estimate requests are network calls; a local estimate only checks it on
+// entry.
+func (db *Database) EstimateQuery(ctx context.Context, q sqlast.Query) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
 	db.estimateRequests.Add(1)
 	est := &estimator{db: db}
 	r, err := est.estQuery(q)

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,9 +19,10 @@ import (
 
 // Oracle answers cost-estimate requests: the paper's "only reliable source
 // of query costs is the target RDBMS". A local engine.Database implements
-// it directly; RemoteOracle reaches a database behind the wire protocol.
+// it directly; RemoteOracle reaches a database behind the wire protocol —
+// the context carries the planning deadline across that network hop.
 type Oracle interface {
-	EstimateQuery(q sqlast.Query) (engine.Estimate, error)
+	EstimateQuery(ctx context.Context, q sqlast.Query) (engine.Estimate, error)
 }
 
 // RemoteOracle adapts a wire client into an Oracle, sending each candidate
@@ -30,8 +32,8 @@ type RemoteOracle struct {
 }
 
 // EstimateQuery implements Oracle over the wire protocol.
-func (r RemoteOracle) EstimateQuery(q sqlast.Query) (engine.Estimate, error) {
-	return r.Client.Estimate(sqlast.Print(q))
+func (r RemoteOracle) EstimateQuery(ctx context.Context, q sqlast.Query) (engine.Estimate, error) {
+	return r.Client.Estimate(ctx, sqlast.Print(q))
 }
 
 // GreedyParams configures the §5 plan-generation algorithm. The cost of a
@@ -131,7 +133,10 @@ type costEntry struct {
 // prm.Parallelism workers. Edge selection scans relative costs in edge
 // order, so the chosen plan family and the request count are independent
 // of scheduling.
-func Greedy(oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, error) {
+//
+// Cancelling ctx stops the search between edge costings (and, through the
+// oracle, inside any in-flight remote estimate request).
+func Greedy(ctx context.Context, oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, error) {
 	res := &GreedyResult{Params: prm}
 	contracted := make([]bool, len(t.Edges))
 
@@ -178,7 +183,7 @@ func Greedy(oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, e
 				entry.err = err
 				return
 			}
-			est, err := oracle.EstimateQuery(streams[0].Query)
+			est, err := oracle.EstimateQuery(ctx, streams[0].Query)
 			if err != nil {
 				entry.err = err
 				return
@@ -192,6 +197,9 @@ func Greedy(oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, e
 	// evalEdge computes one edge's relative cost: combined query minus the
 	// two separate incident queries.
 	evalEdge := func(ei int) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		e := t.Edges[ei]
 		q1, err := componentCost(contracted, e.Parent)
 		if err != nil {

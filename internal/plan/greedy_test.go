@@ -26,7 +26,7 @@ func greedySetup(t *testing.T, src string) (*viewtree.Tree, *engine.Database) {
 
 func TestGreedyCutsStarEdgesAndMergesOneEdges(t *testing.T) {
 	tree, db := greedySetup(t, rxl.Query1Source)
-	res, err := Greedy(db, tree, DefaultGreedyParams(true))
+	res, err := Greedy(ctx, db, tree, DefaultGreedyParams(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestGreedyCutsStarEdgesAndMergesOneEdges(t *testing.T) {
 
 func TestGreedyQuery2(t *testing.T) {
 	tree, db := greedySetup(t, rxl.Query2Source)
-	res, err := Greedy(db, tree, DefaultGreedyParams(true))
+	res, err := Greedy(ctx, db, tree, DefaultGreedyParams(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestGreedyEstimateRequestEconomy(t *testing.T) {
 	for _, reduce := range []bool{false, true} {
 		tree, db := greedySetup(t, rxl.Query1Source)
 		db.ResetEstimateRequests()
-		res, err := Greedy(db, tree, DefaultGreedyParams(reduce))
+		res, err := Greedy(ctx, db, tree, DefaultGreedyParams(reduce))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,14 +90,14 @@ func TestGreedyParallelismInvariant(t *testing.T) {
 		tree, db := greedySetup(t, rxl.Query1Source)
 		serialPrm := DefaultGreedyParams(reduce)
 		serialPrm.Parallelism = 1
-		serial, err := Greedy(db, tree, serialPrm)
+		serial, err := Greedy(ctx, db, tree, serialPrm)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, par := range []int{2, 8} {
 			prm := DefaultGreedyParams(reduce)
 			prm.Parallelism = par
-			got, err := Greedy(db, tree, prm)
+			got, err := Greedy(ctx, db, tree, prm)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -133,7 +133,7 @@ func TestGreedyPlanFamilyEnumeration(t *testing.T) {
 	// of Fig. 18. (The test database is SF 0.002; relative costs scale
 	// with data size.)
 	prm.T1 = -40_000
-	res, err := Greedy(db, tree, prm)
+	res, err := Greedy(ctx, db, tree, prm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,12 +157,12 @@ func TestGreedyPlanFamilyEnumeration(t *testing.T) {
 func TestGreedyPlansProduceCorrectXML(t *testing.T) {
 	tree, db := greedySetup(t, rxl.Query1Source)
 	reference, _ := runPlan(t, db, Unified(tree, false))
-	res, err := Greedy(db, tree, DefaultGreedyParams(true))
+	res, err := Greedy(ctx, db, tree, DefaultGreedyParams(true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := ExecuteDirect(db, res.BestPlan(tree), &buf); err != nil {
+	if _, err := ExecuteDirect(ctx, db, res.BestPlan(tree), &buf); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != reference {
@@ -188,7 +188,7 @@ func TestGreedyBestPlanBeatsExtremes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Greedy(db, tree, DefaultGreedyParams(true))
+	res, err := Greedy(ctx, db, tree, DefaultGreedyParams(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestGreedyBestPlanBeatsExtremes(t *testing.T) {
 		var best float64
 		for i := 0; i < 3; i++ {
 			var buf bytes.Buffer
-			m, err := ExecuteDirect(db, p, &buf)
+			m, err := ExecuteDirect(ctx, db, p, &buf)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -48,7 +48,7 @@ func benchExecute(b *testing.B, db *engine.Database, mk func() *Plan, par int) {
 	for i := 0; i < b.N; i++ {
 		p := mk()
 		p.Parallelism = par
-		m, err := ExecuteDirect(db, p, io.Discard)
+		m, err := ExecuteDirect(ctx, db, p, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}

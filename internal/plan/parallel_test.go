@@ -2,6 +2,7 @@ package plan
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"strings"
 	"sync"
@@ -57,7 +58,7 @@ func TestParallelSerialEquivalence(t *testing.T) {
 			serial := *base
 			serial.Parallelism = 1
 			var serialBuf bytes.Buffer
-			mSerial, err := ExecuteDirect(db, &serial, &serialBuf)
+			mSerial, err := ExecuteDirect(ctx, db, &serial, &serialBuf)
 			if err != nil {
 				t.Fatalf("%s plan %d serial: %v", src.name, pi, err)
 			}
@@ -65,7 +66,7 @@ func TestParallelSerialEquivalence(t *testing.T) {
 			parallel := *base
 			parallel.Parallelism = 8
 			var parBuf bytes.Buffer
-			mPar, err := ExecuteDirect(db, &parallel, &parBuf)
+			mPar, err := ExecuteDirect(ctx, db, &parallel, &parBuf)
 			if err != nil {
 				t.Fatalf("%s plan %d parallel: %v", src.name, pi, err)
 			}
@@ -114,7 +115,7 @@ func TestParallelErrorReporting(t *testing.T) {
 		p := FullyPartitioned(tree)
 		p.Parallelism = par
 		var buf bytes.Buffer
-		if _, err := ExecuteDirect(hollow, p, &buf); err == nil {
+		if _, err := ExecuteDirect(ctx, hollow, p, &buf); err == nil {
 			t.Errorf("parallelism %d: execution against hollow database succeeded", par)
 		} else if !strings.Contains(err.Error(), "stream") {
 			t.Errorf("parallelism %d: error lacks stream index: %v", par, err)
@@ -140,8 +141,9 @@ func (c *countingConn) Close() error {
 }
 
 // TestExecuteWireReleasesConnections: every connection a wire execution
-// opens must be closed by the time ExecuteWire returns — the regression
-// here was streams left open after tagging.
+// opens must be released — repooled or closed — by the time ExecuteWire
+// returns, and closing the client must close the whole pool. The
+// regression here was streams left open after tagging.
 func TestExecuteWireReleasesConnections(t *testing.T) {
 	db := fig8DB(t)
 	tree := fragmentTree(t)
@@ -149,7 +151,7 @@ func TestExecuteWireReleasesConnections(t *testing.T) {
 
 	var mu sync.Mutex
 	opened, closed := 0, 0
-	client := wire.NewClient(func() (net.Conn, error) {
+	client := wire.NewClient(func(context.Context) (net.Conn, error) {
 		c1, c2 := net.Pipe()
 		go srv.ServeConn(c2)
 		mu.Lock()
@@ -160,9 +162,14 @@ func TestExecuteWireReleasesConnections(t *testing.T) {
 
 	for bits := uint64(0); bits < 4; bits++ {
 		var buf bytes.Buffer
-		if _, err := ExecuteWire(client, FromBits(tree, bits, false), &buf); err != nil {
+		if _, err := ExecuteWire(ctx, client, FromBits(tree, bits, false), &buf); err != nil {
 			t.Fatalf("bits=%b: %v", bits, err)
 		}
+	}
+
+	// Cleanly finished streams go back to the pool; Close drains it.
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
 	}
 
 	mu.Lock()

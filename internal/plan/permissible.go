@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"context"
+
 	"silkroute/internal/schema"
 	"silkroute/internal/sqlgen"
 	"silkroute/internal/viewtree"
@@ -90,8 +92,8 @@ func FilterPermissible(plans []*Plan, caps schema.Capabilities) ([]*Plan, error)
 // BestPermissible runs the greedy search and returns the cheapest-looking
 // member of the plan family that the target's capabilities permit, falling
 // back to the fully partitioned plan — which is always permissible.
-func BestPermissible(oracle Oracle, t *viewtree.Tree, prm GreedyParams, caps schema.Capabilities) (*Plan, error) {
-	res, err := Greedy(oracle, t, prm)
+func BestPermissible(ctx context.Context, oracle Oracle, t *viewtree.Tree, prm GreedyParams, caps schema.Capabilities) (*Plan, error) {
+	res, err := Greedy(ctx, oracle, t, prm)
 	if err != nil {
 		return nil, err
 	}

@@ -113,14 +113,14 @@ func TestBestPermissibleFallsBackUnderWeakTargets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := BestPermissible(db, tree, DefaultGreedyParams(true), schema.AllCapabilities)
+	full, err := BestPermissible(ctx, db, tree, DefaultGreedyParams(true), schema.AllCapabilities)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if full.KeptEdges() == 0 {
 		t.Error("full-capability target should allow a merged plan")
 	}
-	weak, err := BestPermissible(db, tree, DefaultGreedyParams(false), schema.Capabilities{})
+	weak, err := BestPermissible(ctx, db, tree, DefaultGreedyParams(false), schema.Capabilities{})
 	if err != nil {
 		t.Fatal(err)
 	}

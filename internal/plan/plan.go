@@ -14,6 +14,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -129,13 +130,27 @@ type Metrics struct {
 }
 
 // resultSource adapts an engine result to a tagger source and counts the
-// rows consumed.
+// rows consumed. It polls the context every srcCheckRows rows so that
+// cancellation also interrupts the tagging phase, after the queries have
+// already executed.
 type resultSource struct {
+	ctx  context.Context
 	res  *engine.Result
 	rows *int64
+	n    int
 }
 
+// srcCheckRows is the row granularity of context checks while draining a
+// stream into the tagger.
+const srcCheckRows = 4096
+
 func (s *resultSource) Next() ([]value.Value, bool, error) {
+	if s.n&(srcCheckRows-1) == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	s.n++
 	row, ok := s.res.Next()
 	if !ok {
 		return nil, false, nil
@@ -151,7 +166,11 @@ func (s *resultSource) Next() ([]value.Value, bool, error) {
 // size, QueryWallTime is the elapsed query phase, and TotalTime adds
 // tagging. Results are collected by stream index, so the merged document
 // is byte-identical at every parallelism level.
-func ExecuteDirect(db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
+//
+// Cancelling ctx interrupts the run promptly — inside a partition query's
+// executor loops, between queries, or while tagging — and the returned
+// error satisfies errors.Is(err, ctx.Err()).
+func ExecuteDirect(ctx context.Context, db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
 	streams, err := p.Streams()
 	if err != nil {
 		return Metrics{}, err
@@ -171,12 +190,12 @@ func ExecuteDirect(db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
 	if par <= 1 {
 		for i, s := range streams {
 			qs := time.Now()
-			res, err := db.ExecuteQuery(s.Query)
+			res, err := db.ExecuteQueryContext(ctx, s.Query)
 			m.QueryTime += time.Since(qs)
 			if err != nil {
 				return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, err)
 			}
-			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{res: res, rows: &m.Rows}}
+			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{ctx: ctx, res: res, rows: &m.Rows}}
 		}
 	} else {
 		results := make([]*engine.Result, len(streams))
@@ -194,7 +213,7 @@ func ExecuteDirect(db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
 						return
 					}
 					qs := time.Now()
-					res, err := db.ExecuteQuery(streams[i].Query)
+					res, err := db.ExecuteQueryContext(ctx, streams[i].Query)
 					served.Add(int64(time.Since(qs)))
 					results[i], errs[i] = res, err
 				}
@@ -208,7 +227,7 @@ func ExecuteDirect(db *engine.Database, p *Plan, w io.Writer) (Metrics, error) {
 			}
 		}
 		for i, s := range streams {
-			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{res: results[i], rows: &m.Rows}}
+			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{ctx: ctx, res: results[i], rows: &m.Rows}}
 		}
 	}
 	m.QueryWallTime = time.Since(start)
@@ -252,7 +271,12 @@ func (s *wireSource) Next() ([]value.Value, bool, error) {
 // opened one JDBC result set per query), then the tagger merges the
 // streams. Query time is the span from submission until every stream has
 // returned its first tuple; total time runs until the document is written.
-func ExecuteWire(client *wire.Client, p *Plan, w io.Writer) (Metrics, error) {
+//
+// ctx governs the whole run. Cancelling it unblocks any stream mid-read —
+// even one stalled on the network — releases every connection back to the
+// client (abandoned streams are closed, not pooled), and returns an error
+// satisfying errors.Is(err, ctx.Err()).
+func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer) (Metrics, error) {
 	streams, err := p.Streams()
 	if err != nil {
 		return Metrics{}, err
@@ -270,7 +294,7 @@ func ExecuteWire(client *wire.Client, p *Plan, w io.Writer) (Metrics, error) {
 		wg.Add(1)
 		go func(i int, sql string) {
 			defer wg.Done()
-			rows, err := client.Query(sql)
+			rows, err := client.Query(ctx, sql)
 			results[i] = opened{rows: rows, err: err}
 		}(i, s.SQL())
 	}

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -13,6 +14,10 @@ import (
 	"silkroute/internal/viewtree"
 	"silkroute/internal/wire"
 )
+
+// ctx is the do-not-care context for tests that exercise planning and
+// execution rather than cancellation; ctx_test.go covers the latter.
+var ctx = context.Background()
 
 // fig8DB loads the paper's Fig. 8 database instance into the TPC-H schema.
 func fig8DB(t *testing.T) *engine.Database {
@@ -57,7 +62,7 @@ func fragmentTree(t *testing.T) *viewtree.Tree {
 func runPlan(t *testing.T, db *engine.Database, p *Plan) (string, Metrics) {
 	t.Helper()
 	var buf bytes.Buffer
-	m, err := ExecuteDirect(db, p, &buf)
+	m, err := ExecuteDirect(ctx, db, p, &buf)
 	if err != nil {
 		t.Fatalf("ExecuteDirect: %v", err)
 	}
@@ -121,7 +126,7 @@ func TestFragmentWireExecutionAgrees(t *testing.T) {
 	client := wire.InProcess(db)
 	for bits := uint64(0); bits < 4; bits++ {
 		var buf bytes.Buffer
-		m, err := ExecuteWire(client, FromBits(tree, bits, false), &buf)
+		m, err := ExecuteWire(ctx, client, FromBits(tree, bits, false), &buf)
 		if err != nil {
 			t.Fatalf("ExecuteWire bits=%b: %v", bits, err)
 		}
@@ -377,11 +382,11 @@ func TestUnorderedSkipsServerSortTime(t *testing.T) {
 	unordered := Unified(tree, true)
 	unordered.Unordered = true
 	var bufA, bufB bytes.Buffer
-	mSorted, err := ExecuteDirect(db, sorted, &bufA)
+	mSorted, err := ExecuteDirect(ctx, db, sorted, &bufA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mUnordered, err := ExecuteDirect(db, unordered, &bufB)
+	mUnordered, err := ExecuteDirect(ctx, db, unordered, &bufB)
 	if err != nil {
 		t.Fatal(err)
 	}

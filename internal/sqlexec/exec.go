@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,17 +15,42 @@ import (
 // result. The result's columns carry the output names (aliases or source
 // column names); unnamed expression columns have empty names.
 func Run(cat Catalog, q sqlast.Query) (*Rel, error) {
-	return evalQuery(cat, q)
+	return RunContext(context.Background(), cat, q)
 }
 
-func evalQuery(cat Catalog, q sqlast.Query) (*Rel, error) {
+// RunContext executes a query under a context. Execution checks the
+// context cooperatively — between row batches of the scan, join, and
+// projection loops and between external-sort runs — and returns ctx.Err()
+// promptly after cancellation, so errors.Is(err, context.Canceled) holds.
+func RunContext(ctx context.Context, cat Catalog, q sqlast.Query) (*Rel, error) {
+	return evalQuery(ctx, cat, q)
+}
+
+// checkRows is the row granularity of cooperative cancellation checks:
+// hot loops test the context once per checkRows rows, keeping the check
+// off the per-row fast path.
+const checkRows = 4096
+
+// pollCtx returns the context's error on batch boundaries (every checkRows
+// iterations, including iteration zero).
+func pollCtx(ctx context.Context, i int) error {
+	if i&(checkRows-1) != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func evalQuery(ctx context.Context, cat Catalog, q sqlast.Query) (*Rel, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch q := q.(type) {
 	case *sqlast.Select:
-		return evalSelect(cat, q)
+		return evalSelect(ctx, cat, q)
 	case *sqlast.Union:
-		return evalUnion(cat, q)
+		return evalUnion(ctx, cat, q)
 	case *sqlast.With:
-		return evalWith(cat, q)
+		return evalWith(ctx, cat, q)
 	default:
 		return nil, fmt.Errorf("sqlexec: unsupported query %T", q)
 	}
@@ -58,29 +84,29 @@ type relProvider interface {
 	LookupRel(name string) (*Rel, bool)
 }
 
-func evalWith(cat Catalog, w *sqlast.With) (*Rel, error) {
+func evalWith(ctx context.Context, cat Catalog, w *sqlast.With) (*Rel, error) {
 	overlay := cteCatalog{Catalog: cat, ctes: make(map[string]*Rel, len(w.CTEs))}
 	for _, cte := range w.CTEs {
 		name := strings.ToLower(cte.Name)
 		if _, dup := overlay.ctes[name]; dup {
 			return nil, fmt.Errorf("sqlexec: duplicate CTE %q", cte.Name)
 		}
-		r, err := evalQuery(overlay, cte.Query)
+		r, err := evalQuery(ctx, overlay, cte.Query)
 		if err != nil {
 			return nil, fmt.Errorf("sqlexec: CTE %s: %w", cte.Name, err)
 		}
 		overlay.ctes[name] = r
 	}
-	return evalQuery(overlay, w.Body)
+	return evalQuery(ctx, overlay, w.Body)
 }
 
-func evalUnion(cat Catalog, u *sqlast.Union) (*Rel, error) {
+func evalUnion(ctx context.Context, cat Catalog, u *sqlast.Union) (*Rel, error) {
 	if len(u.Branches) == 0 {
 		return nil, fmt.Errorf("sqlexec: union with no branches")
 	}
 	var out *Rel
 	for i, b := range u.Branches {
-		r, err := evalSelect(cat, b)
+		r, err := evalSelect(ctx, cat, b)
 		if err != nil {
 			return nil, fmt.Errorf("sqlexec: union branch %d: %w", i, err)
 		}
@@ -98,14 +124,14 @@ func evalUnion(cat Catalog, u *sqlast.Union) (*Rel, error) {
 		}
 		out.Rows = append(out.Rows, r.Rows...)
 	}
-	if err := sortRel(cat, out, u.OrderBy, nil); err != nil {
+	if err := sortRel(ctx, cat, out, u.OrderBy, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func evalSelect(cat Catalog, s *sqlast.Select) (*Rel, error) {
-	src, err := evalFromWhere(cat, s.From, s.Where)
+func evalSelect(ctx context.Context, cat Catalog, s *sqlast.Select) (*Rel, error) {
+	src, err := evalFromWhere(ctx, cat, s.From, s.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -129,13 +155,16 @@ func evalSelect(cat Catalog, s *sqlast.Select) (*Rel, error) {
 	}
 	out := &Rel{Cols: outCols, Rows: make([]table.Row, len(src.Rows))}
 	for ri, row := range src.Rows {
+		if err := pollCtx(ctx, ri); err != nil {
+			return nil, err
+		}
 		prow := make(table.Row, len(exprs))
 		for i, e := range exprs {
 			prow[i] = e.eval(row)
 		}
 		out.Rows[ri] = prow
 	}
-	if err := sortRel(cat, out, s.OrderBy, src); err != nil {
+	if err := sortRel(ctx, cat, out, s.OrderBy, src); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -146,7 +175,7 @@ func evalSelect(cat Catalog, s *sqlast.Select) (*Rel, error) {
 // falls back to the pre-projection source relation, whose rows parallel the
 // output rows one-to-one. Sorts larger than the catalog's memory budget
 // spill to disk through the external merge sort.
-func sortRel(cat Catalog, out *Rel, order []sqlast.OrderItem, src *Rel) error {
+func sortRel(ctx context.Context, cat Catalog, out *Rel, order []sqlast.OrderItem, src *Rel) error {
 	if len(order) == 0 {
 		return nil
 	}
@@ -172,6 +201,9 @@ func sortRel(cat Catalog, out *Rel, order []sqlast.OrderItem, src *Rel) error {
 	}
 	keyed := make([]keyedRow, len(out.Rows))
 	for i := range out.Rows {
+		if err := pollCtx(ctx, i); err != nil {
+			return err
+		}
 		kv := make([]value.Value, len(keys))
 		for ki, k := range keys {
 			if k.onSrc {
@@ -186,7 +218,7 @@ func sortRel(cat Catalog, out *Rel, order []sqlast.OrderItem, src *Rel) error {
 	if sb, ok := cat.(SortBudget); ok {
 		budget = sb.SortMemoryRows()
 	}
-	sorted, err := sortKeyed(keyed, budget)
+	sorted, err := sortKeyed(ctx, keyed, budget)
 	if err != nil {
 		return err
 	}
@@ -202,7 +234,7 @@ func sortRel(cat Catalog, out *Rel, order []sqlast.OrderItem, src *Rel) error {
 // applied as a residual filter. This mirrors what any real target RDBMS
 // does with the paper's generated queries — without it, comma joins over
 // TPC-H would be quadratic cross products.
-func evalFromWhere(cat Catalog, from []sqlast.TableExpr, where sqlast.Expr) (*Rel, error) {
+func evalFromWhere(ctx context.Context, cat Catalog, from []sqlast.TableExpr, where sqlast.Expr) (*Rel, error) {
 	if len(from) == 0 {
 		// A FROM-less select produces one row so literal selects work.
 		r := &Rel{Rows: []table.Row{{}}}
@@ -213,7 +245,7 @@ func evalFromWhere(cat Catalog, from []sqlast.TableExpr, where sqlast.Expr) (*Re
 	}
 	rels := make([]*Rel, len(from))
 	for i, te := range from {
-		r, err := evalTable(cat, te)
+		r, err := evalTable(ctx, cat, te)
 		if err != nil {
 			return nil, err
 		}
@@ -306,7 +338,7 @@ func evalFromWhere(cat Catalog, from []sqlast.TableExpr, where sqlast.Expr) (*Re
 			on = sqlast.MakeAnd(terms)
 		}
 		var err error
-		joined, err = evalJoinRel(joined, right, sqlast.JoinInner, on)
+		joined, err = evalJoinRel(ctx, joined, right, sqlast.JoinInner, on)
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +400,7 @@ func filterRel(r *Rel, pred compiledExpr) *Rel {
 	return out
 }
 
-func evalTable(cat Catalog, te sqlast.TableExpr) (*Rel, error) {
+func evalTable(ctx context.Context, cat Catalog, te sqlast.TableExpr) (*Rel, error) {
 	switch te := te.(type) {
 	case *sqlast.BaseTable:
 		alias := te.Alias
@@ -395,7 +427,7 @@ func evalTable(cat Catalog, te sqlast.TableExpr) (*Rel, error) {
 		}
 		return &Rel{Cols: cols, Rows: t.Rows}, nil
 	case *sqlast.Derived:
-		inner, err := evalQuery(cat, te.Query)
+		inner, err := evalQuery(ctx, cat, te.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -405,15 +437,15 @@ func evalTable(cat Catalog, te sqlast.TableExpr) (*Rel, error) {
 		}
 		return &Rel{Cols: cols, Rows: inner.Rows}, nil
 	case *sqlast.Join:
-		l, err := evalTable(cat, te.L)
+		l, err := evalTable(ctx, cat, te.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := evalTable(cat, te.R)
+		r, err := evalTable(ctx, cat, te.R)
 		if err != nil {
 			return nil, err
 		}
-		return evalJoinRel(l, r, te.Kind, te.On)
+		return evalJoinRel(ctx, l, r, te.Kind, te.On)
 	default:
 		return nil, fmt.Errorf("sqlexec: unsupported table expression %T", te)
 	}
@@ -443,7 +475,7 @@ func isEquiBetween(c sqlast.Expr, l, r *Rel) bool {
 // hash join when it contains an equi-conjunct, or a filtered nested loop
 // otherwise. Matches from different disjuncts are deduplicated so the join
 // behaves as a single logical predicate.
-func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) {
+func evalJoinRel(ctx context.Context, l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) {
 	outCols := concatCols(l.Cols, r.Cols)
 	matches := make([][]int, len(l.Rows)) // left row index → right row indices in match order
 	if on == nil {
@@ -469,7 +501,7 @@ func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) 
 			seen = make(map[int64]bool)
 		}
 		for _, d := range disjuncts {
-			if err := joinDisjunct(l, r, d, outCols, matches, seen); err != nil {
+			if err := joinDisjunct(ctx, l, r, d, outCols, matches, seen); err != nil {
 				return nil, err
 			}
 		}
@@ -478,6 +510,9 @@ func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) 
 	out := &Rel{Cols: outCols}
 	nulls := make(table.Row, len(r.Cols))
 	for li, lrow := range l.Rows {
+		if err := pollCtx(ctx, li); err != nil {
+			return nil, err
+		}
 		rs := matches[li]
 		if len(rs) == 0 {
 			if kind == sqlast.JoinLeftOuter {
@@ -503,7 +538,7 @@ func evalJoinRel(l, r *Rel, kind sqlast.JoinKind, on sqlast.Expr) (*Rel, error) 
 // joinDisjunct adds the (left, right) index pairs satisfying one ON
 // disjunct to matches, skipping pairs already recorded in seen. A nil seen
 // disables the dedup (single-disjunct joins cannot repeat a pair).
-func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen map[int64]bool) error {
+func joinDisjunct(ctx context.Context, l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen map[int64]bool) error {
 	conjs := sqlast.Conjuncts(d)
 	var leftKeys, rightKeys []compiledExpr
 	var leftPred, rightPred []compiledExpr
@@ -579,6 +614,9 @@ func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen
 		ht := make(map[string][]int, len(r.Rows))
 		var scratch []byte
 		for ri, rrow := range r.Rows {
+			if err := pollCtx(ctx, ri); err != nil {
+				return err
+			}
 			if !passes(rightPred, rrow) {
 				continue
 			}
@@ -590,6 +628,9 @@ func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen
 			ht[string(key)] = append(ht[string(key)], ri)
 		}
 		for li, lrow := range l.Rows {
+			if err := pollCtx(ctx, li); err != nil {
+				return err
+			}
 			if !passes(leftPred, lrow) {
 				continue
 			}
@@ -613,6 +654,9 @@ func joinDisjunct(l, r *Rel, d sqlast.Expr, outCols []Col, matches [][]int, seen
 		}
 	}
 	for li, lrow := range l.Rows {
+		if err := pollCtx(ctx, li); err != nil {
+			return err
+		}
 		if !passes(leftPred, lrow) {
 			continue
 		}

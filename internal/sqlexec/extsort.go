@@ -3,6 +3,7 @@ package sqlexec
 import (
 	"bufio"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -46,15 +47,15 @@ func lessKeyed(a, b keyedRow) bool {
 // sortKeyed sorts rows by key, spilling to temporary files when the input
 // exceeds budget. The sort is stable in the in-memory case and stable
 // across run boundaries in the external case (ties broken by run order).
-func sortKeyed(rows []keyedRow, budget int) ([]keyedRow, error) {
+func sortKeyed(ctx context.Context, rows []keyedRow, budget int) ([]keyedRow, error) {
 	if budget <= 0 || len(rows) <= budget {
 		sort.SliceStable(rows, func(i, j int) bool { return lessKeyed(rows[i], rows[j]) })
 		return rows, nil
 	}
-	return externalSort(rows, budget)
+	return externalSort(ctx, rows, budget)
 }
 
-func externalSort(rows []keyedRow, budget int) ([]keyedRow, error) {
+func externalSort(ctx context.Context, rows []keyedRow, budget int) ([]keyedRow, error) {
 	if len(rows) == 0 {
 		return rows, nil
 	}
@@ -75,6 +76,12 @@ func externalSort(rows []keyedRow, budget int) ([]keyedRow, error) {
 	var buf []byte
 	var hdr [4]byte
 	for start := 0; start < len(rows); start += budget {
+		// One check per run: each run is a budget-sized sort plus a file
+		// write, which is exactly the expensive unit the paper's external
+		// sorts pay for, so cancellation lands between runs.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		end := start + budget
 		if end > len(rows) {
 			end = len(rows)
@@ -122,6 +129,9 @@ func externalSort(rows []keyedRow, budget int) ([]keyedRow, error) {
 	}
 	out := make([]keyedRow, 0, len(rows))
 	for h.Len() > 0 {
+		if err := pollCtx(ctx, len(out)); err != nil {
+			return nil, err
+		}
 		r := heap.Pop(h).(*runReader)
 		out = append(out, r.cur)
 		ok, err := r.next()

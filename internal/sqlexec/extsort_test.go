@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -39,13 +40,13 @@ func TestExternalSortMatchesInMemory(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	rows := randomKeyed(rng, 500)
 	inMem := append([]keyedRow{}, rows...)
-	inMemSorted, err := sortKeyed(inMem, 0)
+	inMemSorted, err := sortKeyed(context.Background(), inMem, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, budget := range []int{1, 7, 64, 499, 500} {
 		ext := append([]keyedRow{}, rows...)
-		extSorted, err := sortKeyed(ext, budget)
+		extSorted, err := sortKeyed(context.Background(), ext, budget)
 		if err != nil {
 			t.Fatalf("budget %d: %v", budget, err)
 		}
@@ -69,7 +70,7 @@ func TestExternalSortPreservesRowPayloads(t *testing.T) {
 		{key: []value.Value{value.Int(1)}, row: table.Row{value.String("one"), value.Float(1.5)}},
 		{key: []value.Value{value.Null}, row: table.Row{value.String("null"), value.Int(-1)}},
 	}
-	sorted, err := sortKeyed(rows, 1)
+	sorted, err := sortKeyed(context.Background(), rows, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestExternalSortPreservesRowPayloads(t *testing.T) {
 }
 
 func TestExternalSortEmpty(t *testing.T) {
-	out, err := sortKeyed(nil, 1)
+	out, err := sortKeyed(context.Background(), nil, 1)
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty sort: %v %v", out, err)
 	}
@@ -97,8 +98,8 @@ func TestQuickExternalSortEquivalence(t *testing.T) {
 		budget := int(budgetRaw)%n + 1
 		rng := rand.New(rand.NewSource(seed))
 		rows := randomKeyed(rng, n)
-		a, err1 := sortKeyed(append([]keyedRow{}, rows...), 0)
-		b, err2 := sortKeyed(append([]keyedRow{}, rows...), budget)
+		a, err1 := sortKeyed(context.Background(), append([]keyedRow{}, rows...), 0)
+		b, err2 := sortKeyed(context.Background(), append([]keyedRow{}, rows...), budget)
 		if err1 != nil || err2 != nil {
 			return false
 		}

@@ -1,0 +1,597 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/value"
+)
+
+// Dialer opens one connection to the target database. The context carries
+// the caller's deadline and cancellation; a dialer that can block (TCP)
+// should honor it, e.g. via net.Dialer.DialContext.
+type Dialer func(ctx context.Context) (net.Conn, error)
+
+// DefaultPoolSize is the idle-connection pool bound used when WithPoolSize
+// is not given.
+const DefaultPoolSize = 8
+
+// Retry configures the client's retry policy for dial-time and transient
+// pre-stream failures. A request whose tuple stream has started is never
+// retried: replaying rows into a half-merged document would corrupt it.
+type Retry struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. Zero means 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means uncapped.
+	MaxDelay time.Duration
+}
+
+// Client issues queries and estimate requests over a bounded pool of
+// connections. A connection is dialed on demand, carries one request at a
+// time, and returns to the pool once its response has been fully consumed;
+// a canceled or failed request closes its connection instead, leaving the
+// pool clean. Clients are safe for concurrent use.
+type Client struct {
+	dial           Dialer
+	poolSize       int
+	requestTimeout time.Duration
+	retry          Retry
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithPoolSize bounds the idle-connection pool. n <= 0 disables pooling:
+// every request dials a fresh connection and closes it afterwards, the
+// pre-pool behaviour.
+func WithPoolSize(n int) ClientOption {
+	return func(c *Client) { c.poolSize = n }
+}
+
+// WithRetry sets the retry policy for dial-time and transient pre-stream
+// failures.
+func WithRetry(r Retry) ClientOption {
+	return func(c *Client) { c.retry = r }
+}
+
+// WithRequestTimeout bounds each request (submit through last row) even
+// when the caller's context has no deadline. Zero means no client-imposed
+// deadline.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.requestTimeout = d }
+}
+
+// NewClient returns a client over the given dialer.
+func NewClient(dial Dialer, opts ...ClientOption) *Client {
+	c := &Client{dial: dial, poolSize: DefaultPoolSize}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Dial returns a client for the TCP address, dialing with the request
+// context's deadline.
+func Dial(addr string, opts ...ClientOption) *Client {
+	var d net.Dialer
+	return NewClient(func(ctx context.Context) (net.Conn, error) {
+		return d.DialContext(ctx, "tcp", addr)
+	}, opts...)
+}
+
+// InProcess returns a client wired directly to db through in-memory pipes,
+// with one server goroutine per pooled connection.
+func InProcess(db *engine.Database, opts ...ClientOption) *Client {
+	srv := &Server{DB: db}
+	return NewClient(func(ctx context.Context) (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		go srv.ServeConn(c2)
+		return c1, nil
+	}, opts...)
+}
+
+// IdleConns reports how many connections sit in the pool — the leak check
+// the cancellation tests assert on.
+func (c *Client) IdleConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle)
+}
+
+// Close releases every pooled connection and fails subsequent requests
+// with ErrClientClosed. In-flight streams keep their connections until
+// they finish (those connections are then closed, not pooled).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// acquire returns a pooled connection if one is idle, else dials. reused
+// reports whether the connection came from the pool (and so may have been
+// closed by the server while idle).
+func (c *Client) acquire(ctx context.Context) (conn net.Conn, reused bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		conn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+	conn, err = c.dial(ctx)
+	return conn, false, err
+}
+
+// put returns a connection to the pool, or closes it when the pool is full
+// or the client closed.
+func (c *Client) put(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.poolSize {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// requestDeadline combines the client's per-request timeout with the
+// context's deadline, whichever is sooner; zero means none.
+func (c *Client) requestDeadline(ctx context.Context) time.Time {
+	var d time.Time
+	if c.requestTimeout > 0 {
+		d = time.Now().Add(c.requestTimeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (d.IsZero() || cd.Before(d)) {
+		d = cd
+	}
+	return d
+}
+
+// watcher interrupts a connection's in-flight IO when the context ends, by
+// moving the connection deadline into the past. Stop is synchronous, so a
+// stopped watcher leaks no goroutine.
+type watcher struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func watchCancel(ctx context.Context, conn net.Conn) *watcher {
+	if ctx.Done() == nil {
+		return nil
+	}
+	w := &watcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-w.stop:
+		}
+	}()
+	return w
+}
+
+func (w *watcher) Stop() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+// wrapErr classifies a request error: context cancellation and deadlines
+// map onto the typed sentinels (so errors.Is sees context.Canceled /
+// context.DeadlineExceeded), IO timeouts map onto ErrDeadlineExceeded, and
+// anything else is wrapped verbatim.
+func wrapErr(ctx context.Context, op string, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("wire: %s: %w", op, ctxSentinel(cerr))
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("wire: %s: %w", op, ErrDeadlineExceeded)
+	}
+	return fmt.Errorf("wire: %s: %w", op, err)
+}
+
+// attempts returns the configured total attempt count, at least one.
+func (c *Client) attempts() int {
+	if c.retry.MaxAttempts > 1 {
+		return c.retry.MaxAttempts
+	}
+	return 1
+}
+
+// backoff sleeps the exponential backoff (with full jitter on the upper
+// half) before retry attempt number attempt, honoring ctx.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.retry.BaseDelay
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if c.retry.MaxDelay > 0 && d >= c.retry.MaxDelay {
+			break
+		}
+	}
+	if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("wire: retry: %w", ctxSentinel(ctx.Err()))
+	case <-t.C:
+		return nil
+	}
+}
+
+// transient reports whether a pre-stream failure is worth a fresh attempt:
+// transport errors are (the query never produced a row — SilkRoute queries
+// are read-only SELECTs, so resubmitting cannot duplicate work in the
+// document), definitive server answers and deadline/cancel are not.
+func transient(err error) bool {
+	var se *Error
+	if errors.As(err, &se) {
+		return false
+	}
+	return !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrCanceled)
+}
+
+// Rows is one open tuple stream.
+type Rows struct {
+	// Columns holds the result column names.
+	Columns []string
+	// BytesRead counts payload bytes received so far (the transfer volume
+	// the experiments report).
+	BytesRead int64
+	// RowCount counts rows decoded so far.
+	RowCount int64
+
+	ctx      context.Context
+	client   *Client
+	conn     net.Conn
+	watch    *watcher
+	br       *bufio.Reader
+	buf      []byte // current batch frame, reused across reads
+	off      int    // decode offset of the next row within buf
+	done     bool
+	released bool
+}
+
+// Query submits sql and returns the stream positioned before the first row.
+// The server executes the query fully before sending the header, so the
+// time spent inside Query (until it returns) is the paper's "query-only
+// time": time to the first tuple.
+//
+// The context governs the whole request: Query honors its deadline and
+// cancellation while connecting and waiting for the header, and the
+// returned stream keeps honoring it row by row. Dial-time and transient
+// pre-stream failures are retried under the client's Retry policy; a
+// stream that has started is never retried.
+func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("wire: query: %w", ctxSentinel(err))
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		rows, err := c.queryOnce(ctx, sql)
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		if !transient(err) || ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// queryOnce runs one attempt. Stale pooled connections (closed by the
+// server while idle) are replaced with a fresh dial without consuming a
+// retry attempt.
+func (c *Client) queryOnce(ctx context.Context, sql string) (*Rows, error) {
+	for {
+		conn, reused, err := c.acquire(ctx)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return nil, err
+			}
+			return nil, wrapErr(ctx, "dial", err)
+		}
+		rows, err := c.openStream(ctx, conn, sql)
+		if err == nil {
+			return rows, nil
+		}
+		if reused && ctx.Err() == nil && transient(err) {
+			continue // the pooled connection had gone stale; redial
+		}
+		return nil, err
+	}
+}
+
+// openStream submits one query on conn and parses the status frame. On
+// success it hands the connection to the returned Rows; on failure the
+// connection is closed (or repooled after a clean server error frame,
+// which leaves the connection synchronized).
+func (c *Client) openStream(ctx context.Context, conn net.Conn, sql string) (*Rows, error) {
+	conn.SetDeadline(c.requestDeadline(ctx))
+	w := watchCancel(ctx, conn)
+	fail := func(op string, err error) error {
+		w.Stop()
+		conn.Close()
+		return wrapErr(ctx, op, err)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, append([]byte{'Q'}, sql...)); err != nil {
+		return nil, fail("send query", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fail("send query", err)
+	}
+	r := &Rows{ctx: ctx, client: c, conn: conn, watch: w, br: bufio.NewReaderSize(conn, 64<<10)}
+	status, err := readFrame(r.br, nil)
+	if err != nil {
+		return nil, fail("read status", err)
+	}
+	if len(status) == 0 {
+		return nil, fail("read status", fmt.Errorf("empty status frame"))
+	}
+	switch status[0] {
+	case 'E':
+		// A clean error frame leaves the connection request-aligned.
+		err := decodeError(status)
+		w.Stop()
+		if ctx.Err() == nil {
+			conn.SetDeadline(time.Time{})
+			c.put(conn)
+		} else {
+			conn.Close()
+		}
+		return nil, err
+	case 'C':
+		cols, err := decodeColumns(status)
+		if err != nil {
+			return nil, fail("read status", err)
+		}
+		r.Columns = cols
+		return r, nil
+	default:
+		return nil, fail("read status", fmt.Errorf("unknown status %q", status[0]))
+	}
+}
+
+// decodeError rebuilds the server's typed error from an 'E' frame.
+func decodeError(frame []byte) error {
+	if len(frame) < 2 {
+		return &Error{Code: CodeUnknown, Msg: "truncated error frame"}
+	}
+	return &Error{Code: Code(frame[1]), Msg: string(frame[2:])}
+}
+
+// decodeColumns parses the 'C' status frame's column names.
+func decodeColumns(status []byte) ([]string, error) {
+	if len(status) < 3 {
+		return nil, fmt.Errorf("truncated column header")
+	}
+	n := int(binary.BigEndian.Uint16(status[1:3]))
+	rest := status[3:]
+	cols := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 2 {
+			return nil, fmt.Errorf("truncated column name %d", i)
+		}
+		ln := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < ln {
+			return nil, fmt.Errorf("truncated column name %d", i)
+		}
+		cols = append(cols, string(rest[:ln]))
+		rest = rest[ln:]
+	}
+	return cols, nil
+}
+
+// Next binds and returns the next row, or io.EOF after the last row. The
+// decode here is the per-tuple "binding" cost the paper attributes to the
+// client: rows arrive packed several to a frame, but each is decoded
+// individually. Cancelling the stream's context interrupts a blocked read
+// promptly; the error then satisfies errors.Is(err, context.Canceled).
+func (r *Rows) Next() ([]value.Value, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	for r.off >= len(r.buf) {
+		frame, err := readFrame(r.br, r.buf)
+		if err != nil {
+			werr := wrapErr(r.ctx, "read row", err)
+			r.release(false)
+			return nil, werr
+		}
+		r.buf, r.off = frame, 0
+		if len(frame) == 0 {
+			r.release(true)
+			return nil, io.EOF
+		}
+		r.BytesRead += int64(len(frame))
+	}
+	row, used, err := value.DecodeRowPrefix(r.buf[r.off:], len(r.Columns))
+	if err != nil {
+		r.release(false)
+		return nil, err
+	}
+	r.off += used
+	if used == 0 {
+		// Zero-column rows consume no bytes; treat the frame as one row so
+		// the stream still terminates.
+		r.off = len(r.buf)
+	}
+	r.RowCount++
+	return row, nil
+}
+
+// release retires the stream's connection exactly once: back to the pool
+// after a cleanly terminated stream, closed otherwise (an abandoned stream
+// has unread frames in flight and cannot be reused).
+func (r *Rows) release(reusable bool) {
+	if r.released {
+		return
+	}
+	r.released = true
+	r.done = true
+	r.watch.Stop()
+	if reusable && r.ctx.Err() == nil {
+		r.conn.SetDeadline(time.Time{})
+		r.client.put(r.conn)
+		return
+	}
+	r.conn.Close()
+}
+
+// Close releases the stream's connection. It is idempotent, so plan
+// executors can close every stream unconditionally after tagging without
+// tripping over streams that already released themselves at EOF.
+func (r *Rows) Close() error {
+	r.done = true
+	r.release(false)
+	return nil
+}
+
+// Estimate asks the remote optimizer for a query's cost, cardinality, and
+// row-width estimate — the middleware-side face of the paper's §5 oracle.
+// It obeys the same context, pooling, and retry rules as Query.
+func (c *Client) Estimate(ctx context.Context, sql string) (engine.Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return engine.Estimate{}, fmt.Errorf("wire: estimate: %w", ctxSentinel(err))
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return engine.Estimate{}, err
+			}
+		}
+		est, err := c.estimateOnce(ctx, sql)
+		if err == nil {
+			return est, nil
+		}
+		lastErr = err
+		if !transient(err) || ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
+			return engine.Estimate{}, err
+		}
+	}
+	return engine.Estimate{}, lastErr
+}
+
+func (c *Client) estimateOnce(ctx context.Context, sql string) (engine.Estimate, error) {
+	for {
+		conn, reused, err := c.acquire(ctx)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return engine.Estimate{}, err
+			}
+			return engine.Estimate{}, wrapErr(ctx, "dial", err)
+		}
+		est, err := c.estimateOn(ctx, conn, sql)
+		if err == nil {
+			return est, nil
+		}
+		if reused && ctx.Err() == nil && transient(err) {
+			continue
+		}
+		return engine.Estimate{}, err
+	}
+}
+
+// estimateOn runs one estimate exchange on conn, returning it to the pool
+// on any complete response ('V' or a clean error frame).
+func (c *Client) estimateOn(ctx context.Context, conn net.Conn, sql string) (engine.Estimate, error) {
+	conn.SetDeadline(c.requestDeadline(ctx))
+	w := watchCancel(ctx, conn)
+	fail := func(op string, err error) (engine.Estimate, error) {
+		w.Stop()
+		conn.Close()
+		return engine.Estimate{}, wrapErr(ctx, op, err)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, append([]byte{'E'}, sql...)); err != nil {
+		return fail("send estimate", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail("send estimate", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := readFrame(br, nil)
+	if err != nil {
+		return fail("read estimate", err)
+	}
+	if len(resp) == 0 {
+		return fail("read estimate", fmt.Errorf("empty estimate response"))
+	}
+	finish := func() {
+		w.Stop()
+		if ctx.Err() == nil {
+			conn.SetDeadline(time.Time{})
+			c.put(conn)
+		} else {
+			conn.Close()
+		}
+	}
+	switch resp[0] {
+	case 'E':
+		err := decodeError(resp)
+		finish()
+		return engine.Estimate{}, err
+	case 'V':
+		if len(resp) != 1+3*8 {
+			return fail("read estimate", fmt.Errorf("estimate payload has %d bytes", len(resp)))
+		}
+		est := engine.Estimate{
+			Cost:  math.Float64frombits(binary.BigEndian.Uint64(resp[1:9])),
+			Rows:  math.Float64frombits(binary.BigEndian.Uint64(resp[9:17])),
+			Width: math.Float64frombits(binary.BigEndian.Uint64(resp[17:25])),
+		}
+		finish()
+		return est, nil
+	default:
+		return fail("read estimate", fmt.Errorf("unknown estimate status %q", resp[0]))
+	}
+}

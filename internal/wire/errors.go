@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Code classifies a server-side failure so it survives the trip across the
+// network boundary: the server puts the code in the error frame, the client
+// rebuilds an *Error carrying it, and errors.Is keeps working on the
+// middleware side exactly as it would in-process.
+type Code uint8
+
+// The wire error codes.
+const (
+	// CodeUnknown is a failure the server did not classify.
+	CodeUnknown Code = iota
+	// CodeBadRequest is a malformed or unrecognized request frame.
+	CodeBadRequest
+	// CodeSQL is a SQL parse or execution error from the target engine.
+	CodeSQL
+	// CodeCanceled is a request the server abandoned because it was
+	// canceled (its connection context ended before completion).
+	CodeCanceled
+	// CodeDeadline is a request that exceeded the server's per-request
+	// deadline.
+	CodeDeadline
+	// CodeShutdown is a request refused because the server is draining.
+	CodeShutdown
+)
+
+// String names the code.
+func (c Code) String() string {
+	switch c {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeSQL:
+		return "sql"
+	case CodeCanceled:
+		return "canceled"
+	case CodeDeadline:
+		return "deadline"
+	case CodeShutdown:
+		return "shutdown"
+	}
+	return "unknown"
+}
+
+// Error is a failure reported by the server over the wire protocol.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("wire: server error (%s): %s", e.Code, e.Msg)
+}
+
+// Is maps wire codes back onto the context sentinels (and this package's
+// aliases for them), so errors.Is(err, context.Canceled) is true even when
+// the cancellation happened on the far side of the network.
+func (e *Error) Is(target error) bool {
+	switch e.Code {
+	case CodeCanceled:
+		return target == ErrCanceled || target == context.Canceled
+	case CodeDeadline:
+		return target == ErrDeadlineExceeded || target == context.DeadlineExceeded
+	case CodeShutdown:
+		return target == ErrServerClosed
+	}
+	return false
+}
+
+// sentinel is a named error that unwraps to a context sentinel, so both
+// errors.Is(err, wire.ErrCanceled) and errors.Is(err, context.Canceled)
+// hold on the same error chain.
+type sentinel struct {
+	msg   string
+	cause error
+}
+
+func (s *sentinel) Error() string { return s.msg }
+func (s *sentinel) Unwrap() error { return s.cause }
+
+// Typed client-side errors. ErrCanceled and ErrDeadlineExceeded unwrap to
+// the corresponding context sentinels.
+var (
+	// ErrCanceled reports a request interrupted by context cancellation.
+	ErrCanceled error = &sentinel{"wire: request canceled", context.Canceled}
+	// ErrDeadlineExceeded reports a request that ran past its deadline —
+	// whether the deadline came from the context or the client's
+	// per-request timeout.
+	ErrDeadlineExceeded error = &sentinel{"wire: request deadline exceeded", context.DeadlineExceeded}
+	// ErrClientClosed reports a request on a closed client.
+	ErrClientClosed = errors.New("wire: client closed")
+	// ErrServerClosed is returned by Server.Serve after Shutdown, mirroring
+	// net/http's contract.
+	ErrServerClosed = errors.New("wire: server closed")
+)
+
+// ctxSentinel converts a non-nil context error into the matching typed
+// error.
+func ctxSentinel(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadlineExceeded
+	}
+	return ErrCanceled
+}

@@ -1,0 +1,340 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/value"
+)
+
+// Server serves wire-protocol requests from an engine database. A
+// connection carries a sequence of requests, one at a time, so pooled
+// clients can reuse it instead of dialing per request. The zero value plus
+// a DB is a working server.
+type Server struct {
+	DB *engine.Database
+
+	// IdleTimeout bounds how long a connection may sit between requests
+	// before the server closes it, reclaiming abandoned pooled
+	// connections. Zero means no limit.
+	IdleTimeout time.Duration
+	// RequestTimeout bounds one request end to end — execution plus
+	// streaming the result. A request that exceeds it is abandoned: the
+	// running query is canceled and the connection closed. Zero means no
+	// limit.
+	RequestTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]*srvConn
+	shutdown  bool
+}
+
+// srvConn is the server's bookkeeping for one connection.
+type srvConn struct {
+	active bool               // a request is in flight
+	cancel context.CancelFunc // cancels the in-flight request's context
+}
+
+// Serve accepts connections until the listener closes or the server shuts
+// down; after Shutdown it returns ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	if !s.trackListener(l) {
+		l.Close()
+		return ErrServerClosed
+	}
+	defer s.forgetListener(l)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.shuttingDown() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Shutdown gracefully drains the server: it stops accepting new
+// connections and new requests, closes idle connections, and waits for
+// in-flight requests to finish. If ctx ends first, the remaining requests
+// are canceled, their connections force-closed, and ctx.Err() returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for conn, st := range s.conns {
+		if !st.active {
+			conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			for conn, st := range s.conns {
+				if st.cancel != nil {
+					st.cancel()
+				}
+				conn.Close()
+			}
+			s.mu.Unlock()
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) shuttingDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+func (s *Server) trackListener(l net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return false
+	}
+	if s.listeners == nil {
+		s.listeners = make(map[net.Listener]struct{})
+	}
+	s.listeners[l] = struct{}{}
+	return true
+}
+
+func (s *Server) forgetListener(l net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, l)
+}
+
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]*srvConn)
+	}
+	s.conns[conn] = &srvConn{}
+	return true
+}
+
+func (s *Server) forgetConn(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// beginRequest marks the connection active and returns the request's
+// context, or ok=false when the server is draining and the request must be
+// refused.
+func (s *Server) beginRequest(conn net.Conn) (context.Context, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return nil, false
+	}
+	st, ok := s.conns[conn]
+	if !ok {
+		return nil, false
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.RequestTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	st.active, st.cancel = true, cancel
+	return ctx, true
+}
+
+// endRequest releases the connection's request state.
+func (s *Server) endRequest(conn net.Conn) {
+	s.mu.Lock()
+	st, ok := s.conns[conn]
+	var cancel context.CancelFunc
+	if ok {
+		st.active, cancel, st.cancel = false, st.cancel, nil
+	}
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// writeError emits and flushes one coded error frame.
+func writeError(bw *bufio.Writer, code Code, msg string) error {
+	frame := make([]byte, 0, 2+len(msg))
+	frame = append(frame, 'E', byte(code))
+	frame = append(frame, msg...)
+	if err := writeFrame(bw, frame); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// errCode classifies an engine error for the wire.
+func errCode(err error) Code {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	}
+	return CodeSQL
+}
+
+// ServeConn handles one connection: a sequence of requests, each one SQL
+// query (one result stream) or one estimate exchange.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	if !s.trackConn(conn) {
+		return
+	}
+	defer s.forgetConn(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	var reqBuf []byte
+	for {
+		if s.shuttingDown() {
+			return
+		}
+		if s.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		req, err := readFrame(br, reqBuf)
+		if err != nil || len(req) == 0 {
+			return // client went away (or idled out) between requests
+		}
+		reqBuf = req
+
+		ctx, ok := s.beginRequest(conn)
+		if !ok {
+			_ = writeError(bw, CodeShutdown, "server draining")
+			return
+		}
+		if s.RequestTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(s.RequestTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+
+		kind, sqlText := req[0], string(req[1:])
+		keep := false
+		switch kind {
+		case 'E':
+			keep = s.serveEstimate(bw, sqlText)
+		case 'Q':
+			keep = s.serveQuery(ctx, conn, bw, sqlText)
+		default:
+			keep = writeError(bw, CodeBadRequest, "unknown request kind") == nil
+		}
+		s.endRequest(conn)
+		if !keep {
+			return
+		}
+		conn.SetDeadline(time.Time{})
+	}
+}
+
+// serveQuery executes one SQL request and streams the result. It reports
+// whether the connection is still request-aligned and worth keeping.
+func (s *Server) serveQuery(ctx context.Context, conn net.Conn, bw *bufio.Writer, sqlText string) bool {
+	res, err := s.DB.ExecuteContext(ctx, sqlText)
+	if err != nil {
+		return writeError(bw, errCode(err), err.Error()) == nil
+	}
+
+	// Status frame with column names, flushed immediately: the query has
+	// executed, and the client's Query() measures time to this frame, so it
+	// must not sit in the write buffer behind row batches.
+	hdr := []byte{'C'}
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(res.Columns)))
+	for _, c := range res.Columns {
+		hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(c)))
+		hdr = append(hdr, c...)
+	}
+	if err := writeFrame(bw, hdr); err != nil {
+		return false
+	}
+	if err := bw.Flush(); err != nil {
+		return false
+	}
+
+	// Rows ride in batch frames; the encode buffer is reused throughout.
+	// Once streaming has begun there is no in-band way to signal an error,
+	// so a canceled request just drops the connection — the client sees a
+	// read failure and maps it through its own context.
+	var batch []byte
+	batched := 0
+	for {
+		row, ok := res.Next()
+		if !ok {
+			break
+		}
+		batch = value.EncodeRow(batch, row)
+		batched++
+		if batched >= batchMaxRows || len(batch) >= batchFlushBytes {
+			if ctx.Err() != nil {
+				return false
+			}
+			if err := writeFrame(bw, batch); err != nil {
+				return false
+			}
+			batch = batch[:0]
+			batched = 0
+		}
+	}
+	if batched > 0 {
+		if err := writeFrame(bw, batch); err != nil {
+			return false
+		}
+	}
+	if err := writeFrame(bw, nil); err != nil { // terminator
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// serveEstimate answers an optimizer estimate request; it reports whether
+// the connection stays usable.
+func (s *Server) serveEstimate(bw *bufio.Writer, sql string) bool {
+	est, err := s.DB.EstimateSQL(sql)
+	if err != nil {
+		return writeError(bw, errCode(err), err.Error()) == nil
+	}
+	payload := []byte{'V'}
+	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Cost))
+	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Rows))
+	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Width))
+	if err := writeFrame(bw, payload); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}

@@ -12,10 +12,10 @@
 //
 // Framing: every frame is a 4-byte big-endian length followed by payload.
 //
-//	client → server:  one frame: a request byte then the SQL text —
-//	                  'Q' to execute, 'E' to ask the optimizer for a
-//	                  cost/cardinality estimate (the oracle of §5)
-//	server → client:  for 'Q': status frame 'E' + message, or
+//	client → server:  one frame per request: a request byte then the SQL
+//	                  text — 'Q' to execute, 'E' to ask the optimizer for
+//	                  a cost/cardinality estimate (the oracle of §5)
+//	server → client:  for 'Q': status frame 'E' + code byte + message, or
 //	                  'C' + uint16 column count + length-prefixed names
 //	                  (flushed immediately, so time-to-first-row stays
 //	                  honest), then row-batch frames — each frame holds the
@@ -23,7 +23,11 @@
 //	                  until batchMaxRows rows or batchFlushBytes bytes —
 //	                  then an empty frame terminating the stream;
 //	                  for 'E': 'V' + three big-endian float64 values
-//	                  (cost, rows, width), or 'E' + message
+//	                  (cost, rows, width), or 'E' + code byte + message
+//
+// The error frame's code byte carries a Code, so typed failures
+// (cancellation, deadline, shutdown) survive errors.Is across the network
+// boundary.
 //
 // The value encoding is self-delimiting, so the client peels rows off a
 // batch frame one at a time; a frame with exactly one row is the degenerate
@@ -32,8 +36,12 @@
 // per-tuple bind cost the paper measures is the decode, which is still paid
 // per row.
 //
-// One connection carries one request; a plan with k tuple streams opens k
-// connections, exactly as the paper's client opened k JDBC result sets.
+// A connection carries a sequence of requests, one at a time: the client
+// keeps drained connections in a bounded pool and reuses them, so a plan
+// with k tuple streams holds k connections concurrently open (exactly as
+// the paper's client opened k JDBC result sets) without paying a dial per
+// query. Connections whose stream was abandoned mid-flight are closed, not
+// pooled.
 package wire
 
 import (
@@ -41,11 +49,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
-	"net"
-
-	"silkroute/internal/engine"
-	"silkroute/internal/value"
 )
 
 // maxFrame bounds a single frame; a row larger than this indicates a bug.
@@ -85,295 +88,4 @@ func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	return buf, nil
-}
-
-// Server serves wire-protocol queries from an engine database.
-type Server struct {
-	DB *engine.Database
-}
-
-// Serve accepts connections until the listener closes.
-func (s *Server) Serve(l net.Listener) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
-		}
-		go s.ServeConn(conn)
-	}
-}
-
-// ServeConn handles one connection: one SQL query, one result stream.
-func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriterSize(conn, 64<<10)
-
-	req, err := readFrame(br, nil)
-	if err != nil || len(req) == 0 {
-		return // client went away before sending a request
-	}
-	kind, sqlText := req[0], string(req[1:])
-	if kind == 'E' {
-		s.serveEstimate(bw, sqlText)
-		return
-	}
-	if kind != 'Q' {
-		_ = writeFrame(bw, append([]byte{'E'}, fmt.Sprintf("unknown request %q", kind)...))
-		_ = bw.Flush()
-		return
-	}
-	res, err := s.DB.Execute(sqlText)
-	if err != nil {
-		_ = writeFrame(bw, append([]byte{'E'}, err.Error()...))
-		_ = bw.Flush()
-		return
-	}
-
-	// Status frame with column names, flushed immediately: the query has
-	// executed, and the client's Query() measures time to this frame, so it
-	// must not sit in the write buffer behind row batches.
-	hdr := []byte{'C'}
-	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(res.Columns)))
-	for _, c := range res.Columns {
-		hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(c)))
-		hdr = append(hdr, c...)
-	}
-	if err := writeFrame(bw, hdr); err != nil {
-		return
-	}
-	if err := bw.Flush(); err != nil {
-		return
-	}
-
-	// Rows ride in batch frames; the encode buffer is reused throughout.
-	var batch []byte
-	batched := 0
-	for {
-		row, ok := res.Next()
-		if !ok {
-			break
-		}
-		batch = value.EncodeRow(batch, row)
-		batched++
-		if batched >= batchMaxRows || len(batch) >= batchFlushBytes {
-			if err := writeFrame(bw, batch); err != nil {
-				return
-			}
-			batch = batch[:0]
-			batched = 0
-		}
-	}
-	if batched > 0 {
-		if err := writeFrame(bw, batch); err != nil {
-			return
-		}
-	}
-	_ = writeFrame(bw, nil) // terminator
-	_ = bw.Flush()
-}
-
-// Client issues queries over connections produced by a dial function.
-type Client struct {
-	dial func() (net.Conn, error)
-}
-
-// NewClient returns a client that dials a fresh connection per query.
-func NewClient(dial func() (net.Conn, error)) *Client {
-	return &Client{dial: dial}
-}
-
-// InProcess returns a client wired directly to db through in-memory pipes,
-// with a server goroutine per query.
-func InProcess(db *engine.Database) *Client {
-	srv := &Server{DB: db}
-	return NewClient(func() (net.Conn, error) {
-		c1, c2 := net.Pipe()
-		go srv.ServeConn(c2)
-		return c1, nil
-	})
-}
-
-// Rows is one open tuple stream.
-type Rows struct {
-	// Columns holds the result column names.
-	Columns []string
-	// BytesRead counts payload bytes received so far (the transfer volume
-	// the experiments report).
-	BytesRead int64
-	// RowCount counts rows decoded so far.
-	RowCount int64
-
-	conn   net.Conn
-	br     *bufio.Reader
-	buf    []byte // current batch frame, reused across reads
-	off    int    // decode offset of the next row within buf
-	done   bool
-	closed bool
-}
-
-// Query submits sql and returns the stream positioned before the first row.
-// The server executes the query fully before sending the header, so the
-// time spent inside Query (until it returns) is the paper's "query-only
-// time": time to the first tuple.
-func (c *Client) Query(sql string) (*Rows, error) {
-	conn, err := c.dial()
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial: %w", err)
-	}
-	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, append([]byte{'Q'}, sql...)); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("wire: send query: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("wire: send query: %w", err)
-	}
-	r := &Rows{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}
-	status, err := readFrame(r.br, nil)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("wire: read status: %w", err)
-	}
-	if len(status) == 0 {
-		conn.Close()
-		return nil, fmt.Errorf("wire: empty status frame")
-	}
-	switch status[0] {
-	case 'E':
-		conn.Close()
-		return nil, fmt.Errorf("wire: server error: %s", status[1:])
-	case 'C':
-		if len(status) < 3 {
-			conn.Close()
-			return nil, fmt.Errorf("wire: truncated column header")
-		}
-		n := int(binary.BigEndian.Uint16(status[1:3]))
-		rest := status[3:]
-		cols := make([]string, 0, n)
-		for i := 0; i < n; i++ {
-			if len(rest) < 2 {
-				conn.Close()
-				return nil, fmt.Errorf("wire: truncated column name %d", i)
-			}
-			ln := int(binary.BigEndian.Uint16(rest[:2]))
-			rest = rest[2:]
-			if len(rest) < ln {
-				conn.Close()
-				return nil, fmt.Errorf("wire: truncated column name %d", i)
-			}
-			cols = append(cols, string(rest[:ln]))
-			rest = rest[ln:]
-		}
-		r.Columns = cols
-		return r, nil
-	default:
-		conn.Close()
-		return nil, fmt.Errorf("wire: unknown status %q", status[0])
-	}
-}
-
-// Next binds and returns the next row, or io.EOF after the last row. The
-// decode here is the per-tuple "binding" cost the paper attributes to the
-// client: rows arrive packed several to a frame, but each is decoded
-// individually.
-func (r *Rows) Next() ([]value.Value, error) {
-	if r.done {
-		return nil, io.EOF
-	}
-	for r.off >= len(r.buf) {
-		frame, err := readFrame(r.br, r.buf)
-		if err != nil {
-			r.Close()
-			return nil, fmt.Errorf("wire: read row: %w", err)
-		}
-		r.buf, r.off = frame, 0
-		if len(frame) == 0 {
-			r.Close()
-			return nil, io.EOF
-		}
-		r.BytesRead += int64(len(frame))
-	}
-	row, used, err := value.DecodeRowPrefix(r.buf[r.off:], len(r.Columns))
-	if err != nil {
-		r.Close()
-		return nil, err
-	}
-	r.off += used
-	if used == 0 {
-		// Zero-column rows consume no bytes; treat the frame as one row so
-		// the stream still terminates.
-		r.off = len(r.buf)
-	}
-	r.RowCount++
-	return row, nil
-}
-
-// Close releases the stream's connection. It is idempotent, so plan
-// executors can close every stream unconditionally after tagging without
-// tripping over streams that already closed themselves at EOF.
-func (r *Rows) Close() error {
-	r.done = true
-	if r.closed {
-		return nil
-	}
-	r.closed = true
-	return r.conn.Close()
-}
-
-// serveEstimate answers an optimizer estimate request.
-func (s *Server) serveEstimate(bw *bufio.Writer, sql string) {
-	est, err := s.DB.EstimateSQL(sql)
-	if err != nil {
-		_ = writeFrame(bw, append([]byte{'E'}, err.Error()...))
-		_ = bw.Flush()
-		return
-	}
-	payload := []byte{'V'}
-	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Cost))
-	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Rows))
-	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Width))
-	_ = writeFrame(bw, payload)
-	_ = bw.Flush()
-}
-
-// Estimate asks the remote optimizer for a query's cost, cardinality, and
-// row-width estimate — the middleware-side face of the paper's §5 oracle.
-func (c *Client) Estimate(sql string) (engine.Estimate, error) {
-	conn, err := c.dial()
-	if err != nil {
-		return engine.Estimate{}, fmt.Errorf("wire: dial: %w", err)
-	}
-	defer conn.Close()
-	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, append([]byte{'E'}, sql...)); err != nil {
-		return engine.Estimate{}, fmt.Errorf("wire: send estimate: %w", err)
-	}
-	if err := bw.Flush(); err != nil {
-		return engine.Estimate{}, fmt.Errorf("wire: send estimate: %w", err)
-	}
-	br := bufio.NewReader(conn)
-	resp, err := readFrame(br, nil)
-	if err != nil {
-		return engine.Estimate{}, fmt.Errorf("wire: read estimate: %w", err)
-	}
-	if len(resp) == 0 {
-		return engine.Estimate{}, fmt.Errorf("wire: empty estimate response")
-	}
-	switch resp[0] {
-	case 'E':
-		return engine.Estimate{}, fmt.Errorf("wire: server error: %s", resp[1:])
-	case 'V':
-		if len(resp) != 1+3*8 {
-			return engine.Estimate{}, fmt.Errorf("wire: estimate payload has %d bytes", len(resp))
-		}
-		return engine.Estimate{
-			Cost:  math.Float64frombits(binary.BigEndian.Uint64(resp[1:9])),
-			Rows:  math.Float64frombits(binary.BigEndian.Uint64(resp[9:17])),
-			Width: math.Float64frombits(binary.BigEndian.Uint64(resp[17:25])),
-		}, nil
-	default:
-		return engine.Estimate{}, fmt.Errorf("wire: unknown estimate status %q", resp[0])
-	}
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -12,6 +13,10 @@ import (
 	"silkroute/internal/schema"
 	"silkroute/internal/value"
 )
+
+// ctx is the do-not-care context threaded through tests that exercise
+// framing rather than cancellation; ctx_test.go covers the latter.
+var ctx = context.Background()
 
 func wireDB(t *testing.T) *engine.Database {
 	t.Helper()
@@ -43,7 +48,7 @@ func drain(t *testing.T, rows *Rows) [][]value.Value {
 
 func TestInProcessQuery(t *testing.T) {
 	client := InProcess(wireDB(t))
-	rows, err := client.Query("select n.nationkey, n.name from Nation n order by n.nationkey")
+	rows, err := client.Query(ctx, "select n.nationkey, n.name from Nation n order by n.nationkey")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +73,7 @@ func TestInProcessQuery(t *testing.T) {
 
 func TestServerError(t *testing.T) {
 	client := InProcess(wireDB(t))
-	_, err := client.Query("select g.x from Ghost g")
+	_, err := client.Query(ctx, "select g.x from Ghost g")
 	if err == nil {
 		t.Fatal("query on unknown table succeeded")
 	}
@@ -78,13 +83,13 @@ func TestNullsCostBytesOnTheWire(t *testing.T) {
 	db := wireDB(t)
 	client := InProcess(db)
 
-	narrow, err := client.Query("select n.nationkey from Nation n order by n.nationkey")
+	narrow, err := client.Query(ctx, "select n.nationkey from Nation n order by n.nationkey")
 	if err != nil {
 		t.Fatal(err)
 	}
 	drain(t, narrow)
 
-	padded, err := client.Query(
+	padded, err := client.Query(ctx,
 		"select n.nationkey, null as a, null as b, null as c, null as d from Nation n order by n.nationkey")
 	if err != nil {
 		t.Fatal(err)
@@ -107,10 +112,10 @@ func TestTCPLoopback(t *testing.T) {
 	srv := &Server{DB: db}
 	go srv.Serve(l)
 
-	client := NewClient(func() (net.Conn, error) {
+	client := NewClient(func(context.Context) (net.Conn, error) {
 		return net.Dial("tcp", l.Addr().String())
 	})
-	rows, err := client.Query("select n.name from Nation n order by n.name")
+	rows, err := client.Query(ctx, "select n.name from Nation n order by n.name")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +136,7 @@ func TestConcurrentStreams(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rows, err := client.Query(fmt.Sprintf(
+			rows, err := client.Query(ctx, fmt.Sprintf(
 				"select n.nationkey from Nation n where n.nationkey >= %d order by n.nationkey", i%3))
 			if err != nil {
 				errs <- err
@@ -156,7 +161,7 @@ func TestConcurrentStreams(t *testing.T) {
 
 func TestCloseEarlyDoesNotHang(t *testing.T) {
 	client := InProcess(wireDB(t))
-	rows, err := client.Query("select n.nationkey, n.name from Nation n order by n.nationkey")
+	rows, err := client.Query(ctx, "select n.nationkey, n.name from Nation n order by n.nationkey")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +188,7 @@ func TestBatchedFrames(t *testing.T) {
 	}
 
 	client := InProcess(db)
-	rows, err := client.Query("select s.k, s.label from Seq s order by s.k")
+	rows, err := client.Query(ctx, "select s.k, s.label from Seq s order by s.k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,10 +213,10 @@ func TestBatchedFrames(t *testing.T) {
 }
 
 func TestDialFailure(t *testing.T) {
-	client := NewClient(func() (net.Conn, error) {
+	client := NewClient(func(context.Context) (net.Conn, error) {
 		return nil, fmt.Errorf("synthetic dial failure")
 	})
-	if _, err := client.Query("select 1 as x"); err == nil {
+	if _, err := client.Query(ctx, "select 1 as x"); err == nil {
 		t.Error("Query with failing dial succeeded")
 	}
 }
@@ -227,7 +232,7 @@ func TestValueRoundTripThroughWire(t *testing.T) {
 	db.MustTable("T").MustInsert(value.Int(-7), value.Float(2.5), value.String("ü✓"), value.Null)
 
 	client := InProcess(db)
-	rows, err := client.Query("select t.k, t.f, t.s, t.n from T t")
+	rows, err := client.Query(ctx, "select t.k, t.f, t.s, t.n from T t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +249,7 @@ func TestValueRoundTripThroughWire(t *testing.T) {
 func TestEstimateOverWire(t *testing.T) {
 	db := wireDB(t)
 	client := InProcess(db)
-	est, err := client.Estimate("select n.nationkey, n.name from Nation n")
+	est, err := client.Estimate(ctx, "select n.nationkey, n.name from Nation n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,10 +273,10 @@ func TestEstimateOverWire(t *testing.T) {
 
 func TestEstimateErrorOverWire(t *testing.T) {
 	client := InProcess(wireDB(t))
-	if _, err := client.Estimate("select g.x from Ghost g"); err == nil {
+	if _, err := client.Estimate(ctx, "select g.x from Ghost g"); err == nil {
 		t.Error("estimate of unknown table succeeded over wire")
 	}
-	if _, err := client.Estimate("not even ( sql"); err == nil {
+	if _, err := client.Estimate(ctx, "not even ( sql"); err == nil {
 		t.Error("estimate of invalid SQL succeeded over wire")
 	}
 }

@@ -1,6 +1,7 @@
 package silkroute
 
 import (
+	"context"
 	"net"
 
 	"silkroute/internal/rxl"
@@ -17,26 +18,45 @@ func tpchSchemaForRemote() *schema.Schema { return tpch.Schema() }
 // wire protocol — the paper's actual deployment: the middleware runs on a
 // client machine, submits SQL over the network, and asks the remote
 // optimizer for cost estimates.
+//
+// The connection maintains a bounded pool of wire connections (see
+// WithPoolSize) and retries dial-time failures under the WithRetry policy.
+// A Remote is safe for concurrent use; Close it when done to release the
+// pool.
 type Remote struct {
 	client *wire.Client
 }
 
-// ConnectTCP returns a remote database handle dialing the given address
-// for every query and estimate request.
-func ConnectTCP(addr string) *Remote {
-	return ConnectFunc(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+// ConnectTCP returns a remote database handle for the given address.
+// Connections are dialed on demand — honoring the materialize context's
+// deadline — pooled, and reused across queries and estimate requests.
+func ConnectTCP(addr string, opts ...Option) *Remote {
+	return &Remote{client: wire.Dial(addr, buildConfig(opts).clientOptions()...)}
 }
 
-// ConnectFunc returns a remote database handle using a custom dialer.
-func ConnectFunc(dial func() (net.Conn, error)) *Remote {
-	return &Remote{client: wire.NewClient(dial)}
+// ConnectFunc returns a remote database handle using a custom dialer. The
+// dialer is called whenever the pool has no idle connection; a dialer that
+// can block should keep its own timeout, as it is not handed the request
+// context.
+func ConnectFunc(dial func() (net.Conn, error), opts ...Option) *Remote {
+	return &Remote{client: wire.NewClient(
+		func(context.Context) (net.Conn, error) { return dial() },
+		buildConfig(opts).clientOptions()...)}
 }
+
+// Close releases the connection pool. In-flight requests finish on their
+// own connections; new requests fail.
+func (r *Remote) Close() error { return r.client.Close() }
+
+// IdleConns reports how many pooled connections are currently idle —
+// useful for verifying that cancellation released everything.
+func (r *Remote) IdleConns() int { return r.client.IdleConns() }
 
 // ParseRemoteView compiles an RXL view against a remote database. The
 // schema is the *source description* the paper's middleware keeps locally:
 // relations, keys, and the foreign-key totality constraints that drive
 // edge labeling — the data itself stays on the server.
-func ParseRemoteView(r *Remote, s *Schema, src string) (*View, error) {
+func ParseRemoteView(r *Remote, s *Schema, src string, opts ...Option) (*View, error) {
 	q, err := rxl.Parse(src)
 	if err != nil {
 		return nil, err
@@ -45,7 +65,9 @@ func ParseRemoteView(r *Remote, s *Schema, src string) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &View{remote: r, tree: tree, Wrapper: "document", Reduce: true}, nil
+	v := &View{remote: r, tree: tree, Wrapper: "document", Reduce: true}
+	buildConfig(opts).apply(v)
+	return v, nil
 }
 
 // TPCHSourceDescription returns the source description of the built-in

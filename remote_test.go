@@ -31,7 +31,7 @@ func TestRemoteMaterializationMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	var want bytes.Buffer
-	if _, err := local.Materialize(&want, Unified); err != nil {
+	if _, err := local.Materialize(ctx, &want, Unified); err != nil {
 		t.Fatal(err)
 	}
 
@@ -42,7 +42,7 @@ func TestRemoteMaterializationMatchesLocal(t *testing.T) {
 	}
 	for _, strat := range []Strategy{Unified, FullyPartitioned, OuterUnion, Greedy} {
 		var got bytes.Buffer
-		rep, err := rv.Materialize(&got, strat)
+		rep, err := rv.Materialize(ctx, &got, strat)
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -71,7 +71,7 @@ func TestRemoteGreedyUsesRemoteOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	rep, err := rv.Materialize(&buf, Greedy)
+	rep, err := rv.Materialize(ctx, &buf, Greedy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestRemoteServerErrorSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := rv.Materialize(&buf, Unified); err == nil {
+	if _, err := rv.Materialize(ctx, &buf, Unified); err == nil {
 		t.Error("mismatched source description did not surface a server error")
 	}
 }

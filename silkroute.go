@@ -1,11 +1,15 @@
 package silkroute
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"silkroute/internal/engine"
@@ -17,6 +21,129 @@ import (
 	"silkroute/internal/viewtree"
 	"silkroute/internal/wire"
 )
+
+// ErrUnsupportedPlan reports a plan that needs SQL constructs the target
+// database's source description says it lacks (§3.4). Test for it with
+// errors.Is.
+var ErrUnsupportedPlan = errors.New("silkroute: plan not permissible on target")
+
+// Retry configures how a remote connection retries dial-time and transient
+// failures. A query whose tuple stream has started is never retried — the
+// document being assembled must not see duplicated rows.
+type Retry struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values <= 1 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry, doubling per
+	// attempt with jitter. Zero means 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means uncapped.
+	MaxDelay time.Duration
+}
+
+// Option configures a view or a remote connection. The same option list is
+// accepted by ParseView, ParseRemoteView, ConnectTCP, and ConnectFunc;
+// options that do not apply to the value being built (WithRetry on a view,
+// WithWrapper on a connection) are simply ignored, so one list can be
+// shared across both.
+type Option func(*config)
+
+type config struct {
+	wrapper     string
+	wrapperSet  bool
+	reduce      bool
+	reduceSet   bool
+	parallelism int
+	parSet      bool
+
+	retry      Retry
+	retrySet   bool
+	poolSize   int
+	poolSet    bool
+	timeout    time.Duration
+	timeoutSet bool
+}
+
+// WithWrapper sets the document element wrapped around a view's output;
+// "" emits a bare element sequence. Default "document". View option.
+func WithWrapper(name string) Option {
+	return func(c *config) { c.wrapper, c.wrapperSet = name, true }
+}
+
+// WithReduce toggles view-tree reduction (§3.5). Default true; reduction
+// alone speeds plans up ~2.5× in the paper's measurements. View option.
+func WithReduce(on bool) Option {
+	return func(c *config) { c.reduce, c.reduceSet = on, true }
+}
+
+// WithParallelism bounds how many partition queries run concurrently when a
+// view materializes locally, and how many candidate queries the Greedy
+// planner costs at once. 0 (the default) means one worker per CPU; 1
+// forces strictly serial execution. The document and the planner's choices
+// are identical at every setting. View option.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism, c.parSet = n, true }
+}
+
+// WithRetry sets the retry policy for dial-time and transient pre-stream
+// failures on a remote connection. Connection option.
+func WithRetry(r Retry) Option {
+	return func(c *config) { c.retry, c.retrySet = r, true }
+}
+
+// WithPoolSize bounds a remote connection's idle-connection pool. Drained
+// connections are reused instead of dialing per request; n <= 0 disables
+// pooling. Default 8. Connection option.
+func WithPoolSize(n int) Option {
+	return func(c *config) { c.poolSize, c.poolSet = n, true }
+}
+
+// WithRequestTimeout bounds each remote request (submit through last row)
+// even when the materialize context has no deadline. Zero (the default)
+// imposes none. Connection option.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout, c.timeoutSet = d, true }
+}
+
+// clientOptions translates the connection-side options into wire options.
+func (c *config) clientOptions() []wire.ClientOption {
+	var out []wire.ClientOption
+	if c.poolSet {
+		out = append(out, wire.WithPoolSize(c.poolSize))
+	}
+	if c.retrySet {
+		out = append(out, wire.WithRetry(wire.Retry{
+			MaxAttempts: c.retry.MaxAttempts,
+			BaseDelay:   c.retry.BaseDelay,
+			MaxDelay:    c.retry.MaxDelay,
+		}))
+	}
+	if c.timeoutSet {
+		out = append(out, wire.WithRequestTimeout(c.timeout))
+	}
+	return out
+}
+
+// apply stamps the view-side options onto a freshly built view.
+func (c *config) apply(v *View) {
+	if c.wrapperSet {
+		v.Wrapper = c.wrapper
+	}
+	if c.reduceSet {
+		v.Reduce = c.reduce
+	}
+	if c.parSet {
+		v.Parallelism = c.parallelism
+	}
+}
+
+func buildConfig(opts []Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
 
 // DB is a target relational database: an in-memory engine that executes
 // the SQL subset and answers the cost-estimate requests SilkRoute's
@@ -67,12 +194,17 @@ func (db *DB) LoadCSV(relation, path string) error {
 }
 
 // LoadCSVDir loads every relation of the schema from "<dir>/<relation>.csv".
-// Missing files are skipped, so partial datasets load cleanly.
+// Missing files are skipped, so partial datasets load cleanly; any other
+// stat failure (permissions, bad symlink) is reported rather than silently
+// treated as an absent file.
 func (db *DB) LoadCSVDir(dir string) error {
 	for _, name := range db.eng.Schema.RelationNames() {
 		path := filepath.Join(dir, name+".csv")
 		if _, err := os.Stat(path); err != nil {
-			continue
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return fmt.Errorf("silkroute: load %s: %w", path, err)
 		}
 		if err := db.LoadCSV(name, path); err != nil {
 			return err
@@ -116,11 +248,37 @@ func (db *DB) RowCount(relation string) (int, error) {
 }
 
 // Serve runs the wire protocol on a listener so remote SilkRoute clients
-// can query this database, mirroring the paper's client/server split.
+// can query this database, mirroring the paper's client/server split. It
+// blocks until the listener fails; use ServeContext for a server that can
+// be shut down.
 func (db *DB) Serve(l net.Listener) error {
 	srv := &wire.Server{DB: db.eng}
 	return srv.Serve(l)
 }
+
+// ServeContext serves the wire protocol until ctx is cancelled, then
+// drains gracefully: new connections and requests are refused while
+// in-flight requests get up to shutdownGrace to finish before their
+// connections are force-closed. It returns nil after a clean drain.
+func (db *DB) ServeContext(ctx context.Context, l net.Listener) error {
+	srv := &wire.Server{DB: db.eng}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	<-done // Serve has returned ErrServerClosed; surface only Shutdown's verdict
+	return err
+}
+
+// shutdownGrace bounds how long ServeContext waits for in-flight requests
+// when its context ends.
+const shutdownGrace = 5 * time.Second
 
 // SetSortBudget bounds the engine's in-memory sorts to the given number
 // of rows; larger sorts spill to disk through an external merge sort,
@@ -175,27 +333,47 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// ParseStrategy parses a strategy name as produced by Strategy.String
+// (e.g. for command-line flags). Matching is case-insensitive.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range []Strategy{Unified, OuterUnion, FullyPartitioned, Greedy, UnifiedCTE} {
+		if strings.EqualFold(name, s.String()) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("silkroute: unknown strategy %q (want unified, outer-union, fully-partitioned, greedy, or unified-cte)", name)
+}
+
 // View is a compiled RXL view bound to a database (local or remote).
+// Configure it with Options at parse time; the exported fields remain as
+// deprecated shims for code written against the struct-field style.
 type View struct {
 	db     *DB
 	remote *Remote
 	tree   *viewtree.Tree
 	// Wrapper is the document element wrapped around the view's output;
-	// set it to "" to emit a bare element sequence.
+	// "" emits a bare element sequence.
+	//
+	// Deprecated: pass WithWrapper to ParseView / ParseRemoteView instead.
 	Wrapper string
 	// Reduce applies view-tree reduction (§3.5). On by default; reduction
 	// alone speeds plans up ~2.5× in the paper's measurements.
+	//
+	// Deprecated: pass WithReduce to ParseView / ParseRemoteView instead.
 	Reduce bool
 	// Parallelism bounds how many partition queries run concurrently when
 	// the view materializes against a local database, and how many
 	// candidate queries the Greedy planner costs at once. 0 (the default)
 	// means one worker per CPU; 1 forces strictly serial execution. The
 	// document and the planner's choices are identical at every setting.
+	//
+	// Deprecated: pass WithParallelism to ParseView / ParseRemoteView
+	// instead.
 	Parallelism int
 }
 
 // ParseView compiles an RXL view definition against the database's schema.
-func ParseView(db *DB, src string) (*View, error) {
+func ParseView(db *DB, src string, opts ...Option) (*View, error) {
 	q, err := rxl.Parse(src)
 	if err != nil {
 		return nil, err
@@ -204,7 +382,9 @@ func ParseView(db *DB, src string) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &View{db: db, tree: tree, Wrapper: "document", Reduce: true}, nil
+	v := &View{db: db, tree: tree, Wrapper: "document", Reduce: true}
+	buildConfig(opts).apply(v)
+	return v, nil
 }
 
 // EdgeCount returns the number of view-tree edges; the view has 2^EdgeCount
@@ -234,7 +414,7 @@ type Report struct {
 	QueryWallTime time.Duration
 	TotalTime     time.Duration // until the document was fully written
 	Rows          int64         // tuples transferred
-	SQL       []string      // the generated SQL, one statement per stream
+	SQL           []string      // the generated SQL, one statement per stream
 	// GreedyMandatory/GreedyOptional are set for the Greedy strategy: the
 	// edge indices the planner chose.
 	GreedyMandatory []int
@@ -245,22 +425,29 @@ type Report struct {
 
 // Materialize evaluates the view with the given strategy and writes the
 // XML document to w.
-func (v *View) Materialize(w io.Writer, s Strategy) (*Report, error) {
-	p, rep, err := v.plan(s)
+//
+// ctx governs the whole materialization: planning (including the Greedy
+// strategy's estimate requests), query execution, transfer, and tagging.
+// Cancelling it — or exceeding its deadline — interrupts the run promptly,
+// even mid-stream against a stalled remote server, and the returned error
+// satisfies errors.Is(err, ctx.Err()). Every pooled connection is released.
+func (v *View) Materialize(ctx context.Context, w io.Writer, s Strategy) (*Report, error) {
+	p, rep, err := v.plan(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	return v.execute(w, p, rep)
+	return v.execute(ctx, w, p, rep)
 }
 
 // MaterializePlan evaluates the view with an explicit edge bitmask: bit i
-// keeps view-tree edge i. Use EdgeLabels to see the edges.
-func (v *View) MaterializePlan(w io.Writer, keepBits uint64) (*Report, error) {
+// keeps view-tree edge i. Use EdgeLabels to see the edges. ctx governs the
+// run exactly as in Materialize.
+func (v *View) MaterializePlan(ctx context.Context, w io.Writer, keepBits uint64) (*Report, error) {
 	p := plan.FromBits(v.tree, keepBits, v.Reduce)
-	return v.execute(w, p, &Report{Strategy: Unified})
+	return v.execute(ctx, w, p, &Report{Strategy: Unified})
 }
 
-func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
+func (v *View) plan(ctx context.Context, s Strategy) (*plan.Plan, *Report, error) {
 	rep := &Report{Strategy: s}
 	caps := v.tree.Schema.Supports
 	checked := func(p *plan.Plan) (*plan.Plan, *Report, error) {
@@ -269,8 +456,8 @@ func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
 			return nil, nil, err
 		}
 		if !ok {
-			return nil, nil, fmt.Errorf("silkroute: the %s plan needs SQL constructs the target does not support (left outer join: %v, outer union: %v)",
-				s, caps.LeftOuterJoin, caps.OuterUnion)
+			return nil, nil, fmt.Errorf("%w: the %s plan needs SQL constructs the target does not support (left outer join: %v, outer union: %v)",
+				ErrUnsupportedPlan, s, caps.LeftOuterJoin, caps.OuterUnion)
 		}
 		return p, rep, nil
 	}
@@ -295,7 +482,7 @@ func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
 		}
 		prm := plan.DefaultGreedyParams(v.Reduce)
 		prm.Parallelism = v.Parallelism
-		res, err := plan.Greedy(oracle, v.tree, prm)
+		res, err := plan.Greedy(ctx, oracle, v.tree, prm)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -308,7 +495,7 @@ func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
 		} else if !ok {
 			// Fall back to the best family member (or the always-legal
 			// fully partitioned plan) the target can execute.
-			best, err = plan.BestPermissible(oracle, v.tree, prm, caps)
+			best, err = plan.BestPermissible(ctx, oracle, v.tree, prm, caps)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -319,7 +506,7 @@ func (v *View) plan(s Strategy) (*plan.Plan, *Report, error) {
 	}
 }
 
-func (v *View) execute(w io.Writer, p *plan.Plan, rep *Report) (*Report, error) {
+func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Report) (*Report, error) {
 	streams, err := p.Streams()
 	if err != nil {
 		return nil, err
@@ -331,9 +518,9 @@ func (v *View) execute(w io.Writer, p *plan.Plan, rep *Report) (*Report, error) 
 	p.Parallelism = v.Parallelism
 	var m plan.Metrics
 	if v.remote != nil {
-		m, err = plan.ExecuteWire(v.remote.client, p, w)
+		m, err = plan.ExecuteWire(ctx, v.remote.client, p, w)
 	} else {
-		m, err = plan.ExecuteDirect(v.db.eng, p, w)
+		m, err = plan.ExecuteDirect(ctx, v.db.eng, p, w)
 	}
 	if err != nil {
 		return nil, err

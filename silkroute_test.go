@@ -2,6 +2,7 @@ package silkroute
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net"
 	"os"
@@ -68,7 +69,7 @@ func TestMaterializeAllStrategiesAgree(t *testing.T) {
 		"</document>"
 	for _, s := range []Strategy{Unified, UnifiedCTE, OuterUnion, FullyPartitioned, Greedy} {
 		var buf bytes.Buffer
-		rep, err := v.Materialize(&buf, s)
+		rep, err := v.Materialize(ctx, &buf, s)
 		if err != nil {
 			t.Fatalf("%s: %v", s, err)
 		}
@@ -88,12 +89,12 @@ func TestMaterializeParallelismKnob(t *testing.T) {
 		t.Fatal(err)
 	}
 	var serialBuf bytes.Buffer
-	if _, err := v.Materialize(&serialBuf, FullyPartitioned); err != nil {
+	if _, err := v.Materialize(ctx, &serialBuf, FullyPartitioned); err != nil {
 		t.Fatal(err)
 	}
 	v.Parallelism = 4
 	var parBuf bytes.Buffer
-	rep, err := v.Materialize(&parBuf, FullyPartitioned)
+	rep, err := v.Materialize(ctx, &parBuf, FullyPartitioned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestMaterializeParallelismKnob(t *testing.T) {
 	}
 	// Greedy must accept the knob too (it bounds estimate concurrency).
 	var greedyBuf bytes.Buffer
-	if _, err := v.Materialize(&greedyBuf, Greedy); err != nil {
+	if _, err := v.Materialize(ctx, &greedyBuf, Greedy); err != nil {
 		t.Fatal(err)
 	}
 	if greedyBuf.String() != serialBuf.String() {
@@ -155,12 +156,12 @@ func TestMaterializePlanBitmask(t *testing.T) {
 		t.Fatal(err)
 	}
 	var want bytes.Buffer
-	if _, err := v.Materialize(&want, Unified); err != nil {
+	if _, err := v.Materialize(ctx, &want, Unified); err != nil {
 		t.Fatal(err)
 	}
 	for bits := uint64(0); bits < 4; bits++ {
 		var buf bytes.Buffer
-		rep, err := v.MaterializePlan(&buf, bits)
+		rep, err := v.MaterializePlan(ctx, &buf, bits)
 		if err != nil {
 			t.Fatalf("bits=%b: %v", bits, err)
 		}
@@ -190,7 +191,7 @@ func TestWrapperControl(t *testing.T) {
 	}
 	v.Wrapper = "library"
 	var buf bytes.Buffer
-	if _, err := v.Materialize(&buf, Unified); err != nil {
+	if _, err := v.Materialize(ctx, &buf, Unified); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "<library>") {
@@ -198,7 +199,7 @@ func TestWrapperControl(t *testing.T) {
 	}
 	v.Wrapper = ""
 	buf.Reset()
-	if _, err := v.Materialize(&buf, Unified); err != nil {
+	if _, err := v.Materialize(ctx, &buf, Unified); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "<author>") {
@@ -212,7 +213,7 @@ func TestGreedyReportFields(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := v.Materialize(io.Discard, Greedy)
+	rep, err := v.Materialize(ctx, io.Discard, Greedy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestCSVDumpAndLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := v.Materialize(&buf, Unified); err != nil {
+	if _, err := v.Materialize(ctx, &buf, Unified); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "<r></r>") {
@@ -292,10 +293,10 @@ func TestServeWireClients(t *testing.T) {
 	}
 	defer l.Close()
 	go db.Serve(l)
-	client := wire.NewClient(func() (net.Conn, error) {
+	client := wire.NewClient(func(context.Context) (net.Conn, error) {
 		return net.Dial("tcp", l.Addr().String())
 	})
-	rows, err := client.Query("select a.name from Author a order by a.name")
+	rows, err := client.Query(ctx, "select a.name from Author a order by a.name")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,18 +352,18 @@ func TestCapabilitiesRestrictPlans(t *testing.T) {
 	}
 	// The unified plan keeps the '*' book edge: it needs a left outer
 	// join the target lacks.
-	if _, err := v.Materialize(io.Discard, Unified); err == nil {
+	if _, err := v.Materialize(ctx, io.Discard, Unified); err == nil {
 		t.Error("unified plan accepted on an outer-join-free target")
 	}
 	// Fully partitioned always works.
 	var fp bytes.Buffer
-	if _, err := v.Materialize(&fp, FullyPartitioned); err != nil {
+	if _, err := v.Materialize(ctx, &fp, FullyPartitioned); err != nil {
 		t.Fatalf("fully partitioned rejected: %v", err)
 	}
 	// Greedy falls back to a permissible plan and still produces the
 	// same document.
 	var g bytes.Buffer
-	rep, err := v.Materialize(&g, Greedy)
+	rep, err := v.Materialize(ctx, &g, Greedy)
 	if err != nil {
 		t.Fatalf("greedy on weak target: %v", err)
 	}
@@ -381,15 +382,19 @@ func TestSetSortBudgetKeepsResultsIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	var free bytes.Buffer
-	if _, err := v.Materialize(&free, Unified); err != nil {
+	if _, err := v.Materialize(ctx, &free, Unified); err != nil {
 		t.Fatal(err)
 	}
 	db.SetSortBudget(10) // everything spills
 	var spilled bytes.Buffer
-	if _, err := v.Materialize(&spilled, Unified); err != nil {
+	if _, err := v.Materialize(ctx, &spilled, Unified); err != nil {
 		t.Fatal(err)
 	}
 	if free.String() != spilled.String() {
 		t.Error("sort budget changed the document")
 	}
 }
+
+// ctx is the do-not-care context for tests exercising planning and
+// materialization rather than cancellation; ctx_test.go covers the latter.
+var ctx = context.Background()
