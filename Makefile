@@ -1,6 +1,8 @@
 GO ?= go
+# Pinned so CI and laptops run the same checker; bump deliberately.
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet test test-race bench-smoke ci experiments
+.PHONY: all build vet staticcheck test test-race bench-smoke ci experiments
 
 all: build
 
@@ -9,6 +11,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Runs the pinned staticcheck via `go run` (no global install). The
+# -version probe separates "tool not fetchable" (offline, no module cache:
+# warn and skip) from "tool ran and found problems" (fail).
+staticcheck:
+	@if $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline?); skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -20,10 +32,12 @@ test-race:
 
 # One iteration of the parallel-execution grid: proves the benchmark and
 # the worker pool still run, without paying for a full measurement.
+# The captured output doubles as the CI artifact (bench-smoke.txt).
 bench-smoke:
-	$(GO) test -run '^$$' -bench ParallelExecute -benchtime 1x ./internal/plan
+	@$(GO) test -run '^$$' -bench ParallelExecute -benchtime 1x ./internal/plan > bench-smoke.txt 2>&1; \
+		status=$$?; cat bench-smoke.txt; exit $$status
 
-ci: vet build test-race bench-smoke
+ci: vet staticcheck build test-race bench-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

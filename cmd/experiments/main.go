@@ -139,5 +139,10 @@ func runSingle(ctx context.Context, w io.Writer, strategy string, query int, sca
 	fmt.Fprintf(w, "query %d  strategy %-17s  streams %2d  rows %6d  query %8.3fms  total %8.3fms\n",
 		query, rep.Strategy, rep.Streams, rep.Rows,
 		float64(rep.QueryTime.Microseconds())/1000, float64(rep.TotalTime.Microseconds())/1000)
+	for i, st := range rep.StreamStats {
+		fmt.Fprintf(w, "  stream %d  rows %6d  query %8.3fms  wall %8.3fms\n",
+			i+1, st.Rows,
+			float64(st.QueryTime.Microseconds())/1000, float64(st.WallTime.Microseconds())/1000)
+	}
 	return nil
 }

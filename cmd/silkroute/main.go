@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"silkroute"
+	"silkroute/internal/obs"
 	"silkroute/internal/rxl"
 )
 
@@ -44,12 +45,21 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort materialization after this long (0 = no limit)")
 	serve := flag.String("serve", "", "run as a database server on this address instead of materializing")
 	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (enables observability)")
 	flag.Parse()
 
 	// Interrupt (^C) or SIGTERM cancels the context; every layer below —
 	// planner, SQL engine, wire client — unwinds promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *metricsAddr != "" {
+		addr, err := obs.ListenAndServe(ctx, *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "silkroute: metrics on http://%s/metrics\n", addr)
+	}
 
 	if *serve != "" {
 		db := loadDB(*scale, *seed, *data)
@@ -110,14 +120,24 @@ func main() {
 	}
 
 	if *explain {
-		fmt.Fprintf(os.Stderr, "strategy: %s  streams: %d  rows: %d\n", rep.Strategy, rep.Streams, rep.Rows)
-		fmt.Fprintf(os.Stderr, "query time: %v (wall %v)  total time: %v\n", rep.QueryTime, rep.QueryWallTime, rep.TotalTime)
-		if rep.Strategy == silkroute.Greedy {
-			fmt.Fprintf(os.Stderr, "greedy: mandatory=%v optional=%v estimate requests=%d\n",
-				rep.GreedyMandatory, rep.GreedyOptional, rep.EstimateRequests)
+		// The plan family first (what Explain reports), then how the run
+		// actually went, stream by stream.
+		e, err := view.Explain(ctx, strat)
+		if err != nil {
+			fatal(err)
 		}
-		for i, sql := range rep.SQL {
-			fmt.Fprintf(os.Stderr, "-- stream %d --\n%s\n", i+1, sql)
+		fmt.Fprint(os.Stderr, e)
+		fmt.Fprintf(os.Stderr, "executed: streams: %d  rows: %d\n", rep.Streams, rep.Rows)
+		fmt.Fprintf(os.Stderr, "query time: %v (wall %v)  total time: %v\n", rep.QueryTime, rep.QueryWallTime, rep.TotalTime)
+		for i, st := range rep.StreamStats {
+			fmt.Fprintf(os.Stderr, "  stream %d: rows=%d query=%v wall=%v", i+1, st.Rows, st.QueryTime, st.WallTime)
+			if st.Bytes > 0 {
+				fmt.Fprintf(os.Stderr, " bytes=%d", st.Bytes)
+			}
+			if st.Retries > 0 {
+				fmt.Fprintf(os.Stderr, " retries=%d", st.Retries)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 }

@@ -86,6 +86,9 @@ type PlanResult struct {
 	Rows     int64
 	Bytes    int64
 	TimedOut bool
+	// PerStream breaks the winning run down by tuple stream, in stream
+	// order.
+	PerStream []plan.StreamMetrics
 }
 
 // Runner executes plans against one database over the wire protocol.
@@ -126,13 +129,14 @@ func (r *Runner) Run(ctx context.Context, p *plan.Plan, bits uint64) (PlanResult
 			return PlanResult{}, err
 		}
 		res := PlanResult{
-			Bits:    bits,
-			Streams: m.Streams,
-			Reduced: p.Reduce,
-			QueryMS: float64(m.QueryTime.Microseconds()) / 1000,
-			TotalMS: float64(m.TotalTime.Microseconds()) / 1000,
-			Rows:    m.Rows,
-			Bytes:   m.Bytes,
+			Bits:      bits,
+			Streams:   m.Streams,
+			Reduced:   p.Reduce,
+			QueryMS:   float64(m.QueryTime.Microseconds()) / 1000,
+			TotalMS:   float64(m.TotalTime.Microseconds()) / 1000,
+			Rows:      m.Rows,
+			Bytes:     m.Bytes,
+			PerStream: m.PerStream,
 		}
 		if r.Timeout > 0 && m.TotalTime > r.Timeout {
 			res.TimedOut = true

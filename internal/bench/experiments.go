@@ -169,6 +169,13 @@ func (s *Suite) Sec2() error {
 		}
 		fmt.Fprintf(s.Out, "%-22s %-12d %-14.1f %-14.1f %d\n",
 			r.name, res.Streams, res.TotalMS, res.QueryMS, res.Rows)
+		// The per-stream split is the table's point: the one expensive
+		// stream a partitioned plan isolates is what the aggregate hides.
+		for i, st := range res.PerStream {
+			fmt.Fprintf(s.Out, "  stream %-19d %-12s %-14.1f %-14.1f %d\n",
+				i+1, "", float64(st.WallTime.Microseconds())/1000,
+				float64(st.QueryTime.Microseconds())/1000, st.Rows)
+		}
 	}
 	fmt.Fprintln(s.Out)
 	return nil

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"silkroute/internal/obs"
 	"silkroute/internal/schema"
 	"silkroute/internal/sqlast"
 	"silkroute/internal/sqlexec"
@@ -134,7 +136,11 @@ func (db *Database) ExecuteQuery(q sqlast.Query) (*Result, error) {
 
 // ExecuteQueryContext runs an already-parsed statement under a context.
 func (db *Database) ExecuteQueryContext(ctx context.Context, q sqlast.Query) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "engine.query")
+	start := time.Now()
 	rel, err := sqlexec.RunContext(ctx, db, q)
+	obs.M().EngineQuery(time.Since(start))
+	span.End()
 	if err != nil {
 		return nil, err
 	}

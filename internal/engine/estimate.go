@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"silkroute/internal/obs"
 	"silkroute/internal/sqlast"
 	"silkroute/internal/sqlparse"
 )
@@ -44,6 +45,7 @@ func (db *Database) EstimateQuery(ctx context.Context, q sqlast.Query) (Estimate
 		return Estimate{}, err
 	}
 	db.estimateRequests.Add(1)
+	obs.M().EngineEstimate()
 	est := &estimator{db: db}
 	r, err := est.estQuery(q)
 	if err != nil {

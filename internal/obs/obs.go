@@ -1,0 +1,453 @@
+// Package obs is SilkRoute's observability layer: dependency-free metrics
+// (atomic counters, gauges, ring-buffered latency histograms) and
+// lightweight tracing (spans with parent/child links and a trace ID that
+// rides the wire protocol), exposed over a Prometheus-text /metrics
+// endpoint.
+//
+// The paper's contribution is an empirical argument — plan families are
+// chosen by *measuring* per-query cost and cardinality (§5) — so the
+// middleware must be able to report what it measured, per layer and per
+// stream, not just two summed durations. This package is that report.
+//
+// Design constraints:
+//
+//   - Dependency-free: only the standard library, so the middleware's
+//     "black box" posture toward the target database (and toward any
+//     vendored telemetry stack) is preserved.
+//   - Nil sink is free: observability is off by default. Every recording
+//     method on *Metrics is safe on a nil receiver and compiles down to a
+//     nil check, and instrumented hot loops accumulate locally and record
+//     once per operator, so the row hot path gains zero allocations and
+//     effectively zero time.
+//   - Global by default: like Prometheus's default registry, one
+//     process-global *Metrics is shared by every layer once Enable is
+//     called. Tests that need isolation swap it with SetGlobal.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic value that can go up and down (in-flight requests,
+// pool occupancy).
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histRing bounds a Histogram's sample memory: quantiles are computed over
+// the most recent histRing observations (a sliding window), while count
+// and sum stay exact over the full lifetime.
+const histRing = 512
+
+// Histogram records durations (or any int64 samples) into a fixed ring
+// buffer and reports p50/p95/p99 over the retained window. Count and Sum
+// are lifetime-exact; the quantiles are over the last histRing samples,
+// which is what a scrape wants: recent latency, not the since-boot mix.
+type Histogram struct {
+	mu  sync.Mutex
+	buf [histRing]int64
+	n   int64 // lifetime observation count
+	sum int64 // lifetime sum
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.buf[h.n%histRing] = v
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// Count returns the lifetime number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the lifetime sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantiles returns the requested quantiles (0 < q <= 1) over the retained
+// window, nearest-rank. With no observations every quantile is zero.
+func (h *Histogram) Quantiles(qs ...float64) []int64 {
+	out := make([]int64, len(qs))
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	n := h.n
+	if n > histRing {
+		n = histRing
+	}
+	window := make([]int64, n)
+	copy(window, h.buf[:n])
+	h.mu.Unlock()
+	if len(window) == 0 {
+		return out
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	for i, q := range qs {
+		rank := int(q*float64(len(window))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(window) {
+			rank = len(window) - 1
+		}
+		out[i] = window[rank]
+	}
+	return out
+}
+
+// PlannerMetrics covers the greedy plan search (§5).
+type PlannerMetrics struct {
+	// Searches counts greedy searches run.
+	Searches Counter
+	// EstimateRequests counts cost-estimate requests issued to the oracle —
+	// the live version of §5.1's "number of cost requests".
+	EstimateRequests Counter
+	// CacheHits counts candidate queries answered by the singleflight
+	// estimate cache instead of the oracle.
+	CacheHits Counter
+}
+
+// ExecMetrics covers the SQL executor's operator loops and the engine
+// around them.
+type ExecMetrics struct {
+	// Queries counts SQL statements executed by the engine.
+	Queries Counter
+	// QuerySeconds is the engine-side execution latency (ns samples,
+	// exported in seconds).
+	QuerySeconds Histogram
+	// RowsScanned counts rows read out of base-table scans.
+	RowsScanned Counter
+	// RowsJoined counts rows produced by join operators.
+	RowsJoined Counter
+	// RowsSorted counts rows passed through ORDER BY sorts.
+	RowsSorted Counter
+	// SortSpills counts external-sort runs spilled to disk.
+	SortSpills Counter
+	// EstimatesServed counts optimizer estimate requests the engine
+	// answered (the server-side twin of PlannerMetrics.EstimateRequests).
+	EstimatesServed Counter
+}
+
+// TaggerMetrics covers the XML integration-and-tagging stage.
+type TaggerMetrics struct {
+	// Documents counts materialized documents.
+	Documents Counter
+	// Elements counts XML elements emitted.
+	Elements Counter
+	// Bytes counts XML bytes written (post-escaping).
+	Bytes Counter
+}
+
+// ClientMetrics covers the wire client.
+type ClientMetrics struct {
+	// Requests counts logical requests (queries + estimates) submitted.
+	Requests Counter
+	// Dials counts fresh connections dialed.
+	Dials Counter
+	// PoolHits counts requests served from the idle-connection pool.
+	PoolHits Counter
+	// Retries counts retry attempts after transient pre-stream failures.
+	Retries Counter
+	// InFlight is the number of requests currently outstanding.
+	InFlight Gauge
+	// DeadlineExceeded counts requests that hit a deadline (context or
+	// per-request timeout).
+	DeadlineExceeded Counter
+}
+
+// ServerMetrics covers the wire server.
+type ServerMetrics struct {
+	// Requests counts wire requests served (queries + estimates).
+	Requests Counter
+	// InFlight is the number of requests currently executing.
+	InFlight Gauge
+	// RowsSent counts result rows streamed to clients.
+	RowsSent Counter
+	// BytesSent counts result payload bytes streamed to clients.
+	BytesSent Counter
+	// RequestSeconds is the end-to-end request latency (ns samples,
+	// exported in seconds).
+	RequestSeconds Histogram
+	// DeadlinesExceeded counts requests abandoned at the server's
+	// per-request deadline.
+	DeadlinesExceeded Counter
+}
+
+// Metrics is one observability sink: every layer's metric set plus the
+// span tracer. The zero value is ready to use; a nil *Metrics is the
+// disabled sink and every recording method on it is a no-op.
+type Metrics struct {
+	Planner PlannerMetrics
+	Exec    ExecMetrics
+	Tagger  TaggerMetrics
+	Client  ClientMetrics
+	Server  ServerMetrics
+	Tracer  Tracer
+}
+
+// NewMetrics returns a fresh, enabled metrics sink.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+var global atomic.Pointer[Metrics]
+
+// M returns the process-global metrics sink, or nil while observability is
+// disabled. Callers hold the result in a local and call its nil-safe
+// recording methods.
+func M() *Metrics { return global.Load() }
+
+// Enable installs a process-global metrics sink if none is installed yet
+// and returns the active one. It is idempotent and safe for concurrent
+// use.
+func Enable() *Metrics {
+	m := NewMetrics()
+	if global.CompareAndSwap(nil, m) {
+		return m
+	}
+	return global.Load()
+}
+
+// SetGlobal replaces the process-global sink (nil disables observability
+// again). Intended for tests that need an isolated sink.
+func SetGlobal(m *Metrics) { global.Store(m) }
+
+// --- nil-safe recording methods, one per instrumentation point ---
+
+// PlannerSearch records the start of one greedy search.
+func (m *Metrics) PlannerSearch() {
+	if m == nil {
+		return
+	}
+	m.Planner.Searches.Inc()
+}
+
+// PlannerEstimateRequest records one oracle estimate request issued.
+func (m *Metrics) PlannerEstimateRequest() {
+	if m == nil {
+		return
+	}
+	m.Planner.EstimateRequests.Inc()
+}
+
+// PlannerCacheHit records a candidate query answered from the estimate
+// cache.
+func (m *Metrics) PlannerCacheHit() {
+	if m == nil {
+		return
+	}
+	m.Planner.CacheHits.Inc()
+}
+
+// EngineQuery records one executed SQL statement and its latency.
+func (m *Metrics) EngineQuery(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Exec.Queries.Inc()
+	m.Exec.QuerySeconds.Observe(int64(d))
+}
+
+// EngineEstimate records one estimate request served by the engine.
+func (m *Metrics) EngineEstimate() {
+	if m == nil {
+		return
+	}
+	m.Exec.EstimatesServed.Inc()
+}
+
+// ExecScan records rows read from a base-table scan.
+func (m *Metrics) ExecScan(rows int64) {
+	if m == nil {
+		return
+	}
+	m.Exec.RowsScanned.Add(rows)
+}
+
+// ExecJoin records rows produced by a join operator.
+func (m *Metrics) ExecJoin(rows int64) {
+	if m == nil {
+		return
+	}
+	m.Exec.RowsJoined.Add(rows)
+}
+
+// ExecSort records rows passed through a sort.
+func (m *Metrics) ExecSort(rows int64) {
+	if m == nil {
+		return
+	}
+	m.Exec.RowsSorted.Add(rows)
+}
+
+// ExecSpill records external-sort runs spilled to disk.
+func (m *Metrics) ExecSpill(runs int64) {
+	if m == nil {
+		return
+	}
+	m.Exec.SortSpills.Add(runs)
+}
+
+// TaggerDocument records one materialized document's element and byte
+// counts.
+func (m *Metrics) TaggerDocument(elements, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.Tagger.Documents.Inc()
+	m.Tagger.Elements.Add(elements)
+	m.Tagger.Bytes.Add(bytes)
+}
+
+// ClientRequestStart records one logical wire request entering flight.
+func (m *Metrics) ClientRequestStart() {
+	if m == nil {
+		return
+	}
+	m.Client.Requests.Inc()
+	m.Client.InFlight.Inc()
+}
+
+// ClientRequestEnd records a wire request leaving flight; deadlineExceeded
+// marks requests that failed on a deadline.
+func (m *Metrics) ClientRequestEnd(deadlineExceeded bool) {
+	if m == nil {
+		return
+	}
+	m.Client.InFlight.Dec()
+	if deadlineExceeded {
+		m.Client.DeadlineExceeded.Inc()
+	}
+}
+
+// ClientDial records a fresh connection dialed.
+func (m *Metrics) ClientDial() {
+	if m == nil {
+		return
+	}
+	m.Client.Dials.Inc()
+}
+
+// ClientPoolHit records a request served from the idle pool.
+func (m *Metrics) ClientPoolHit() {
+	if m == nil {
+		return
+	}
+	m.Client.PoolHits.Inc()
+}
+
+// ClientRetry records one retry attempt.
+func (m *Metrics) ClientRetry() {
+	if m == nil {
+		return
+	}
+	m.Client.Retries.Inc()
+}
+
+// ServerRequestStart records a wire request starting on the server.
+func (m *Metrics) ServerRequestStart() {
+	if m == nil {
+		return
+	}
+	m.Server.Requests.Inc()
+	m.Server.InFlight.Inc()
+}
+
+// ServerRequestEnd records a wire request finishing on the server.
+func (m *Metrics) ServerRequestEnd(d time.Duration, deadlineExceeded bool) {
+	if m == nil {
+		return
+	}
+	m.Server.InFlight.Dec()
+	m.Server.RequestSeconds.Observe(int64(d))
+	if deadlineExceeded {
+		m.Server.DeadlinesExceeded.Inc()
+	}
+}
+
+// ServerSent records result rows and payload bytes streamed to a client.
+func (m *Metrics) ServerSent(rows, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.Server.RowsSent.Add(rows)
+	m.Server.BytesSent.Add(bytes)
+}

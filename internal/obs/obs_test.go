@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSinkIsNoOp(t *testing.T) {
+	var m *Metrics
+	// Every recording method must be a no-op on the nil sink.
+	m.PlannerSearch()
+	m.PlannerEstimateRequest()
+	m.PlannerCacheHit()
+	m.EngineQuery(time.Millisecond)
+	m.EngineEstimate()
+	m.ExecScan(10)
+	m.ExecJoin(10)
+	m.ExecSort(10)
+	m.ExecSpill(1)
+	m.TaggerDocument(5, 100)
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatalf("nil sink wrote %d bytes of exposition", b.Len())
+	}
+
+	var c *Counter
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Inc()
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram has observations")
+	}
+	if qs := h.Quantiles(0.5); qs[0] != 0 {
+		t.Fatal("nil histogram has quantiles")
+	}
+
+	ctx, span := startSpan(nil, context.Background(), "noop")
+	if span != nil {
+		t.Fatal("nil sink produced a span")
+	}
+	span.SetDetail("ignored")
+	span.End()
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil sink attached a span to the context")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %d, want 5050", h.Sum())
+	}
+	qs := h.Quantiles(0.5, 0.95, 0.99)
+	if qs[0] != 50 || qs[1] != 95 || qs[2] != 99 {
+		t.Fatalf("quantiles = %v, want [50 95 99]", qs)
+	}
+}
+
+func TestHistogramRingWindow(t *testing.T) {
+	var h Histogram
+	// Overflow the ring with small values, then fill the window with large
+	// ones: quantiles must reflect only the retained window.
+	for i := 0; i < histRing; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < histRing; i++ {
+		h.Observe(1000)
+	}
+	if h.Count() != 2*histRing {
+		t.Fatalf("count = %d, want %d", h.Count(), 2*histRing)
+	}
+	if q := h.Quantiles(0.5)[0]; q != 1000 {
+		t.Fatalf("p50 over window = %d, want 1000", q)
+	}
+}
+
+func TestSpanTreeParenting(t *testing.T) {
+	m := NewMetrics()
+	ctx := context.Background()
+	ctx, root := startSpan(m, ctx, "root")
+	childCtx, child := startSpan(m, ctx, "child")
+	_, grand := startSpan(m, childCtx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	if root.Parent != 0 {
+		t.Fatalf("root has parent %d", root.Parent)
+	}
+	if child.Trace != root.Trace || child.Parent != root.ID {
+		t.Fatalf("child not parented under root: %+v vs %+v", child, root)
+	}
+	if grand.Trace != root.Trace || grand.Parent != child.ID {
+		t.Fatalf("grandchild not parented under child")
+	}
+	spans := m.Tracer.Spans(root.Trace)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	tree := m.Tracer.TraceTree(root.Trace)
+	want := []string{"root (", "  child (", "    grandchild ("}
+	for _, w := range want {
+		if !strings.Contains(tree, w) {
+			t.Fatalf("tree missing %q:\n%s", w, tree)
+		}
+	}
+}
+
+func TestRemoteSpanStitching(t *testing.T) {
+	m := NewMetrics()
+	ctx, client := startSpan(m, context.Background(), "client.request")
+	// Simulate the other process: only the IDs cross the wire.
+	old := M()
+	SetGlobal(m)
+	defer SetGlobal(old)
+	_, server := StartRemoteSpan(context.Background(), "server.query", client.Trace, client.ID)
+	server.End()
+	client.End()
+	_ = ctx
+
+	if server.Trace != client.Trace || server.Parent != client.ID {
+		t.Fatalf("server span not stitched under client: %+v vs %+v", server, client)
+	}
+	// Untraced request: fresh root trace.
+	_, root := StartRemoteSpan(context.Background(), "server.query", 0, 0)
+	root.End()
+	if root.Trace == 0 || root.Parent != 0 {
+		t.Fatalf("untraced request did not start a root trace: %+v", root)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.ExecScan(1)
+				m.Exec.QuerySeconds.Observe(int64(j))
+				m.Client.InFlight.Inc()
+				m.Client.InFlight.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Exec.RowsScanned.Value(); got != 8000 {
+		t.Fatalf("rows scanned = %d, want 8000", got)
+	}
+	if got := m.Exec.QuerySeconds.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := m.Client.InFlight.Value(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	m.PlannerSearch()
+	m.PlannerEstimateRequest()
+	m.PlannerCacheHit()
+	m.EngineQuery(2 * time.Millisecond)
+	m.ExecScan(100)
+	m.ExecJoin(40)
+	m.ExecSort(40)
+	m.TaggerDocument(10, 500)
+	m.Client.Dials.Inc()
+	m.Server.RowsSent.Add(40)
+
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	text := b.String()
+
+	series := map[string]string{
+		"silkroute_planner_searches_total":            "1",
+		"silkroute_planner_estimate_requests_total":   "1",
+		"silkroute_planner_estimate_cache_hits_total": "1",
+		"silkroute_engine_queries_total":              "1",
+		"silkroute_exec_rows_scanned_total":           "100",
+		"silkroute_exec_rows_joined_total":            "40",
+		"silkroute_exec_rows_sorted_total":            "40",
+		"silkroute_tagger_documents_total":            "1",
+		"silkroute_tagger_elements_total":             "10",
+		"silkroute_tagger_bytes_total":                "500",
+		"silkroute_wire_client_dials_total":           "1",
+		"silkroute_wire_server_rows_sent_total":       "40",
+	}
+	for name, val := range series {
+		want := fmt.Sprintf("%s %s\n", name, val)
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", strings.TrimSpace(want))
+		}
+		if !strings.Contains(text, "# TYPE "+name+" ") {
+			t.Errorf("exposition missing TYPE line for %s", name)
+		}
+	}
+	if !strings.Contains(text, `silkroute_engine_query_seconds{quantile="0.5"} 0.002`) {
+		t.Errorf("summary quantile missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "silkroute_engine_query_seconds_count 1") {
+		t.Errorf("summary count missing")
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	old := M()
+	defer SetGlobal(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, err := ListenAndServe(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	M().ExecScan(7)
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if !strings.Contains(string(body), "silkroute_exec_rows_scanned_total 7") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("GET /healthz: %s %q", resp.Status, body)
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4). Counters become `*_total` counters, gauges
+// gauges, and histograms summaries with p50/p95/p99 quantiles plus
+// `_sum`/`_count`; durations are exported in seconds per Prometheus
+// convention.
+func (m *Metrics) WritePrometheus(b *strings.Builder) {
+	if m == nil {
+		return
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	summary := func(name, help string, h *Histogram) {
+		qs := h.Quantiles(0.5, 0.95, 0.99)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			fmt.Fprintf(b, "%s{quantile=%q} %g\n", name, q, time.Duration(qs[i]).Seconds())
+		}
+		fmt.Fprintf(b, "%s_sum %g\n%s_count %d\n", name, time.Duration(h.Sum()).Seconds(), name, h.Count())
+	}
+
+	counter("silkroute_planner_searches_total", "Greedy plan searches run.", m.Planner.Searches.Value())
+	counter("silkroute_planner_estimate_requests_total", "Cost-estimate requests issued to the oracle by the greedy planner.", m.Planner.EstimateRequests.Value())
+	counter("silkroute_planner_estimate_cache_hits_total", "Greedy candidate queries answered from the estimate cache.", m.Planner.CacheHits.Value())
+
+	counter("silkroute_engine_queries_total", "SQL statements executed by the engine.", m.Exec.Queries.Value())
+	summary("silkroute_engine_query_seconds", "Engine-side SQL execution latency in seconds.", &m.Exec.QuerySeconds)
+	counter("silkroute_engine_estimate_requests_total", "Optimizer estimate requests served by the engine.", m.Exec.EstimatesServed.Value())
+	counter("silkroute_exec_rows_scanned_total", "Rows read from base-table scans.", m.Exec.RowsScanned.Value())
+	counter("silkroute_exec_rows_joined_total", "Rows produced by join operators.", m.Exec.RowsJoined.Value())
+	counter("silkroute_exec_rows_sorted_total", "Rows passed through ORDER BY sorts.", m.Exec.RowsSorted.Value())
+	counter("silkroute_exec_sort_spills_total", "External-sort runs spilled to disk.", m.Exec.SortSpills.Value())
+
+	counter("silkroute_tagger_documents_total", "XML documents materialized by the tagger.", m.Tagger.Documents.Value())
+	counter("silkroute_tagger_elements_total", "XML elements emitted by the tagger.", m.Tagger.Elements.Value())
+	counter("silkroute_tagger_bytes_total", "XML bytes written by the tagger.", m.Tagger.Bytes.Value())
+
+	counter("silkroute_wire_client_requests_total", "Logical wire requests (queries and estimates) submitted.", m.Client.Requests.Value())
+	counter("silkroute_wire_client_dials_total", "Fresh wire connections dialed.", m.Client.Dials.Value())
+	counter("silkroute_wire_client_pool_hits_total", "Wire requests served from the idle-connection pool.", m.Client.PoolHits.Value())
+	counter("silkroute_wire_client_retries_total", "Wire request retry attempts.", m.Client.Retries.Value())
+	counter("silkroute_wire_client_deadline_exceeded_total", "Wire requests that hit a deadline.", m.Client.DeadlineExceeded.Value())
+	gauge("silkroute_wire_client_inflight", "Wire requests currently outstanding.", m.Client.InFlight.Value())
+
+	counter("silkroute_wire_server_requests_total", "Wire requests served.", m.Server.Requests.Value())
+	counter("silkroute_wire_server_rows_sent_total", "Result rows streamed to wire clients.", m.Server.RowsSent.Value())
+	counter("silkroute_wire_server_bytes_sent_total", "Result payload bytes streamed to wire clients.", m.Server.BytesSent.Value())
+	counter("silkroute_wire_server_deadline_exceeded_total", "Wire requests abandoned at the server-side deadline.", m.Server.DeadlinesExceeded.Value())
+	gauge("silkroute_wire_server_inflight", "Wire requests currently executing on the server.", m.Server.InFlight.Value())
+	summary("silkroute_wire_server_request_seconds", "End-to-end wire request latency in seconds.", &m.Server.RequestSeconds)
+}
+
+// Handler returns an http.Handler serving /metrics (Prometheus text) and
+// /healthz (200 ok) from the process-global sink. The sink is read at
+// request time, so a handler created before Enable still works.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		M().WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// ListenAndServe enables the global sink and serves /metrics + /healthz on
+// addr until ctx is done, then shuts the listener down. It returns once
+// the listener is bound (serving continues in a goroutine), so callers can
+// scrape immediately; the returned address is the bound one ("addr" may
+// have port 0).
+func ListenAndServe(ctx context.Context, addr string) (string, error) {
+	Enable()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler()}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	go srv.Serve(l)
+	return l.Addr().String(), nil
+}

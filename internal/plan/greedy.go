@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"silkroute/internal/engine"
+	"silkroute/internal/obs"
 	"silkroute/internal/sqlast"
 	"silkroute/internal/sqlgen"
 	"silkroute/internal/viewtree"
@@ -137,6 +138,9 @@ type costEntry struct {
 // Cancelling ctx stops the search between edge costings (and, through the
 // oracle, inside any in-flight remote estimate request).
 func Greedy(ctx context.Context, oracle Oracle, t *viewtree.Tree, prm GreedyParams) (*GreedyResult, error) {
+	obs.M().PlannerSearch()
+	ctx, span := obs.StartSpan(ctx, "plan.greedy")
+	defer span.End()
 	res := &GreedyResult{Params: prm}
 	contracted := make([]bool, len(t.Edges))
 
@@ -177,6 +181,11 @@ func Greedy(ctx context.Context, oracle Oracle, t *viewtree.Tree, prm GreedyPara
 			costCache[key] = entry
 		}
 		cacheMu.Unlock()
+		if ok {
+			// Another costing already owns this candidate query; the oracle
+			// will be asked at most once regardless of who wins the race.
+			obs.M().PlannerCacheHit()
+		}
 		entry.once.Do(func() {
 			streams, err := sqlgen.Generate(t, []*viewtree.Component{comp}, prm.Style)
 			if err != nil {
@@ -189,6 +198,7 @@ func Greedy(ctx context.Context, oracle Oracle, t *viewtree.Tree, prm GreedyPara
 				return
 			}
 			requests.Add(1)
+			obs.M().PlannerEstimateRequest()
 			entry.cost = prm.A*est.Cost + prm.B*est.DataSize()
 		})
 		return entry.cost, entry.err

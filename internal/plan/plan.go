@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"silkroute/internal/engine"
+	"silkroute/internal/obs"
 	"silkroute/internal/sqlgen"
 	"silkroute/internal/tagger"
 	"silkroute/internal/value"
@@ -127,6 +128,30 @@ type Metrics struct {
 	TotalTime     time.Duration
 	Rows          int64 // total tuples transferred across all streams
 	Bytes         int64 // total payload bytes transferred (wire execution only)
+	// PerStream breaks the totals down by tuple stream, in stream order —
+	// the per-stream skew the aggregate times hide is exactly what the
+	// greedy planner exploits, so executions report it.
+	PerStream []StreamMetrics
+}
+
+// StreamMetrics is one tuple stream's share of a plan execution.
+type StreamMetrics struct {
+	// SQL is the stream's generated query text.
+	SQL string
+	// Rows counts the tuples this stream delivered.
+	Rows int64
+	// Bytes counts the payload bytes transferred (wire execution only).
+	Bytes int64
+	// QueryTime is the stream's server execution time: for direct
+	// execution the engine call, for wire execution the span from submit
+	// to the column header (time to first tuple).
+	QueryTime time.Duration
+	// WallTime is the stream's full lifetime — through the last row
+	// drained into the tagger.
+	WallTime time.Duration
+	// Retries counts wire attempts beyond the first (always zero for
+	// direct execution).
+	Retries int
 }
 
 // resultSource adapts an engine result to a tagger source and counts the
@@ -175,9 +200,12 @@ func ExecuteDirect(ctx context.Context, db *engine.Database, p *Plan, w io.Write
 	if err != nil {
 		return Metrics{}, err
 	}
+	ctx, span := obs.StartSpan(ctx, "plan.execute.direct")
+	defer span.End()
 	start := time.Now()
-	m := Metrics{Streams: len(streams)}
+	m := Metrics{Streams: len(streams), PerStream: make([]StreamMetrics, len(streams))}
 	inputs := make([]tagger.Input, len(streams))
+	perRows := make([]int64, len(streams))
 
 	par := p.Parallelism
 	if par <= 0 {
@@ -191,15 +219,18 @@ func ExecuteDirect(ctx context.Context, db *engine.Database, p *Plan, w io.Write
 		for i, s := range streams {
 			qs := time.Now()
 			res, err := db.ExecuteQueryContext(ctx, s.Query)
-			m.QueryTime += time.Since(qs)
+			qd := time.Since(qs)
+			m.QueryTime += qd
 			if err != nil {
 				return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, err)
 			}
-			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{ctx: ctx, res: res, rows: &m.Rows}}
+			m.PerStream[i] = StreamMetrics{SQL: s.SQL(), QueryTime: qd, WallTime: qd}
+			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{ctx: ctx, res: res, rows: &perRows[i]}}
 		}
 	} else {
 		results := make([]*engine.Result, len(streams))
 		errs := make([]error, len(streams))
+		durs := make([]time.Duration, len(streams))
 		var next atomic.Int64
 		var served atomic.Int64 // summed per-query server nanoseconds
 		var wg sync.WaitGroup
@@ -214,7 +245,8 @@ func ExecuteDirect(ctx context.Context, db *engine.Database, p *Plan, w io.Write
 					}
 					qs := time.Now()
 					res, err := db.ExecuteQueryContext(ctx, streams[i].Query)
-					served.Add(int64(time.Since(qs)))
+					durs[i] = time.Since(qs)
+					served.Add(int64(durs[i]))
 					results[i], errs[i] = res, err
 				}
 			}()
@@ -227,7 +259,8 @@ func ExecuteDirect(ctx context.Context, db *engine.Database, p *Plan, w io.Write
 			}
 		}
 		for i, s := range streams {
-			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{ctx: ctx, res: results[i], rows: &m.Rows}}
+			m.PerStream[i] = StreamMetrics{SQL: s.SQL(), QueryTime: durs[i], WallTime: durs[i]}
+			inputs[i] = tagger.Input{Meta: s, Rows: &resultSource{ctx: ctx, res: results[i], rows: &perRows[i]}}
 		}
 	}
 	m.QueryWallTime = time.Since(start)
@@ -238,6 +271,10 @@ func ExecuteDirect(ctx context.Context, db *engine.Database, p *Plan, w io.Write
 		return Metrics{}, err
 	}
 	m.TotalTime = time.Since(start)
+	for i, n := range perRows {
+		m.PerStream[i].Rows = n
+		m.Rows += n
+	}
 	return m, nil
 }
 
@@ -250,14 +287,18 @@ func writeDoc(tg *tagger.Tagger, w io.Writer, inputs []tagger.Input, unordered b
 	return tg.WriteXML(w, inputs)
 }
 
-// wireSource adapts a wire row stream to a tagger source.
+// wireSource adapts a wire row stream to a tagger source and remembers
+// when the stream finished draining, for the per-stream wall time.
 type wireSource struct {
-	rows *wire.Rows
+	rows  *wire.Rows
+	start time.Time
+	wall  time.Duration // set once the stream reaches EOF
 }
 
 func (s *wireSource) Next() ([]value.Value, bool, error) {
 	row, err := s.rows.Next()
 	if err == io.EOF {
+		s.wall = time.Since(s.start)
 		return nil, false, nil
 	}
 	if err != nil {
@@ -281,8 +322,10 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 	if err != nil {
 		return Metrics{}, err
 	}
+	ctx, span := obs.StartSpan(ctx, "plan.execute.wire")
+	defer span.End()
 	start := time.Now()
-	m := Metrics{Streams: len(streams)}
+	m := Metrics{Streams: len(streams), PerStream: make([]StreamMetrics, len(streams))}
 
 	type opened struct {
 		rows *wire.Rows
@@ -291,10 +334,16 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 	results := make([]opened, len(streams))
 	var wg sync.WaitGroup
 	for i, s := range streams {
+		m.PerStream[i].SQL = s.SQL()
 		wg.Add(1)
 		go func(i int, sql string) {
 			defer wg.Done()
+			qs := time.Now()
 			rows, err := client.Query(ctx, sql)
+			m.PerStream[i].QueryTime = time.Since(qs)
+			if rows != nil {
+				m.PerStream[i].Retries = rows.Attempts - 1
+			}
 			results[i] = opened{rows: rows, err: err}
 		}(i, s.SQL())
 	}
@@ -314,11 +363,13 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 	defer closeAll()
 
 	inputs := make([]tagger.Input, len(streams))
+	sources := make([]*wireSource, len(streams))
 	for i, r := range results {
 		if r.err != nil {
 			return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, r.err)
 		}
-		inputs[i] = tagger.Input{Meta: streams[i], Rows: &wireSource{rows: r.rows}}
+		sources[i] = &wireSource{rows: r.rows, start: start}
+		inputs[i] = tagger.Input{Meta: streams[i], Rows: sources[i]}
 	}
 	tg := tagger.New(p.Tree)
 	tg.Wrapper = p.Wrapper
@@ -326,9 +377,16 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 		return Metrics{}, err
 	}
 	m.TotalTime = time.Since(start)
-	for _, r := range results {
+	for i, r := range results {
 		m.Rows += r.rows.RowCount
 		m.Bytes += r.rows.BytesRead
+		m.PerStream[i].Rows = r.rows.RowCount
+		m.PerStream[i].Bytes = r.rows.BytesRead
+		if w := sources[i].wall; w > 0 {
+			m.PerStream[i].WallTime = w
+		} else {
+			m.PerStream[i].WallTime = m.TotalTime
+		}
 	}
 	return m, nil
 }

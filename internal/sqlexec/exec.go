@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"silkroute/internal/obs"
 	"silkroute/internal/sqlast"
 	"silkroute/internal/table"
 	"silkroute/internal/value"
@@ -222,6 +223,7 @@ func sortRel(ctx context.Context, cat Catalog, out *Rel, order []sqlast.OrderIte
 	if err != nil {
 		return err
 	}
+	obs.M().ExecSort(int64(len(sorted)))
 	for i := range sorted {
 		out.Rows[i] = sorted[i].row
 	}
@@ -425,6 +427,7 @@ func evalTable(ctx context.Context, cat Catalog, te sqlast.TableExpr) (*Rel, err
 		for i, c := range t.Rel.Columns {
 			cols[i] = Col{Qual: alias, Name: c.Name}
 		}
+		obs.M().ExecScan(int64(len(t.Rows)))
 		return &Rel{Cols: cols, Rows: t.Rows}, nil
 	case *sqlast.Derived:
 		inner, err := evalQuery(ctx, cat, te.Query)
@@ -532,6 +535,7 @@ func evalJoinRel(ctx context.Context, l, r *Rel, kind sqlast.JoinKind, on sqlast
 			out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
 		}
 	}
+	obs.M().ExecJoin(int64(len(out.Rows)))
 	return out, nil
 }
 

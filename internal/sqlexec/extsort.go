@@ -10,6 +10,7 @@ import (
 	"os"
 	"sort"
 
+	"silkroute/internal/obs"
 	"silkroute/internal/table"
 	"silkroute/internal/value"
 )
@@ -113,6 +114,8 @@ func externalSort(ctx context.Context, rows []keyedRow, budget int) ([]keyedRow,
 			return nil, fmt.Errorf("sqlexec: spill rewind: %w", err)
 		}
 	}
+
+	obs.M().ExecSpill(int64(len(runs)))
 
 	// K-way merge.
 	readers := make([]*runReader, len(runs))

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 
+	"silkroute/internal/obs"
 	"silkroute/internal/sqlgen"
 	"silkroute/internal/value"
 	"silkroute/internal/viewtree"
@@ -210,7 +211,13 @@ func (tg *Tagger) WriteXML(w io.Writer, inputs []Input) error {
 	if tg.Wrapper != "" {
 		bw.close(tg.Wrapper)
 	}
-	return bw.flush()
+	if err := bw.flush(); err != nil {
+		return err
+	}
+	// One record per document: the writer counted locally, so the per-element
+	// hot path stayed free of shared-counter traffic.
+	obs.M().TaggerDocument(bw.elems, bw.bytes)
+	return nil
 }
 
 // advance reads rows from a stream until at least one new instance appears
@@ -326,9 +333,11 @@ func sortInstances(insts []*instance) {
 
 // xmlWriter emits compact, escaped XML.
 type xmlWriter struct {
-	w   io.Writer
-	buf []byte
-	err error
+	w     io.Writer
+	buf   []byte
+	err   error
+	elems int64 // elements opened
+	bytes int64 // bytes written to w
 }
 
 func newXMLWriter(w io.Writer) *xmlWriter {
@@ -336,6 +345,7 @@ func newXMLWriter(w io.Writer) *xmlWriter {
 }
 
 func (x *xmlWriter) open(tag string) {
+	x.elems++
 	x.buf = append(x.buf, '<')
 	x.buf = append(x.buf, tag...)
 	x.buf = append(x.buf, '>')
@@ -380,6 +390,7 @@ func (x *xmlWriter) flushBuf() {
 		return
 	}
 	_, x.err = x.w.Write(x.buf)
+	x.bytes += int64(len(x.buf))
 	x.buf = x.buf[:0]
 }
 

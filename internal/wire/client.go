@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"silkroute/internal/engine"
+	"silkroute/internal/obs"
 	"silkroute/internal/value"
 )
 
@@ -144,10 +145,14 @@ func (c *Client) acquire(ctx context.Context) (conn net.Conn, reused bool, err e
 		conn = c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
+		obs.M().ClientPoolHit()
 		return conn, true, nil
 	}
 	c.mu.Unlock()
 	conn, err = c.dial(ctx)
+	if err == nil {
+		obs.M().ClientDial()
+	}
 	return conn, false, err
 }
 
@@ -259,6 +264,30 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	}
 }
 
+// isDeadline reports whether a request failed on a deadline (the client's
+// request timeout or the context's), for the deadline-exceeded counter.
+func isDeadline(err error) bool {
+	return err != nil &&
+		(errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// encodeRequest frames one request. An untraced request is the kind byte
+// followed by the SQL; when span is non-nil the traced variant is sent
+// instead — lowercase kind, then the 16-byte trace header carrying the
+// span's trace ID and span ID (the server's parent). The span is created
+// once per logical request, before the retry loop, so every attempt
+// carries the same IDs and a retried request still forms one trace.
+func encodeRequest(kind byte, span *obs.Span, sql string) []byte {
+	if span == nil {
+		return append([]byte{kind}, sql...)
+	}
+	buf := make([]byte, 0, 1+16+len(sql))
+	buf = append(buf, kind|0x20) // 'Q' → 'q', 'E' → 'e'
+	buf = binary.BigEndian.AppendUint64(buf, uint64(span.Trace))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(span.ID))
+	return append(buf, sql...)
+}
+
 // transient reports whether a pre-stream failure is worth a fresh attempt:
 // transport errors are (the query never produced a row — SilkRoute queries
 // are read-only SELECTs, so resubmitting cannot duplicate work in the
@@ -280,6 +309,9 @@ type Rows struct {
 	BytesRead int64
 	// RowCount counts rows decoded so far.
 	RowCount int64
+	// Attempts is how many tries the logical request took before this
+	// stream opened (1 = no retry).
+	Attempts int
 
 	ctx      context.Context
 	client   *Client
@@ -306,15 +338,29 @@ func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("wire: query: %w", ctxSentinel(err))
 	}
+	m := obs.M()
+	m.ClientRequestStart()
+	// One span per logical request: its IDs ride the wire on every attempt.
+	ctx, span := obs.StartSpan(ctx, "wire.client.query")
+	span.SetDetail(sql)
+	rows, err := c.queryRetry(ctx, span, sql)
+	span.End()
+	m.ClientRequestEnd(isDeadline(err))
+	return rows, err
+}
+
+func (c *Client) queryRetry(ctx context.Context, span *obs.Span, sql string) (*Rows, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		if attempt > 0 {
+			obs.M().ClientRetry()
 			if err := c.backoff(ctx, attempt); err != nil {
 				return nil, err
 			}
 		}
-		rows, err := c.queryOnce(ctx, sql)
+		rows, err := c.queryOnce(ctx, span, sql)
 		if err == nil {
+			rows.Attempts = attempt + 1
 			return rows, nil
 		}
 		lastErr = err
@@ -328,7 +374,7 @@ func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
 // queryOnce runs one attempt. Stale pooled connections (closed by the
 // server while idle) are replaced with a fresh dial without consuming a
 // retry attempt.
-func (c *Client) queryOnce(ctx context.Context, sql string) (*Rows, error) {
+func (c *Client) queryOnce(ctx context.Context, span *obs.Span, sql string) (*Rows, error) {
 	for {
 		conn, reused, err := c.acquire(ctx)
 		if err != nil {
@@ -337,7 +383,7 @@ func (c *Client) queryOnce(ctx context.Context, sql string) (*Rows, error) {
 			}
 			return nil, wrapErr(ctx, "dial", err)
 		}
-		rows, err := c.openStream(ctx, conn, sql)
+		rows, err := c.openStream(ctx, conn, span, sql)
 		if err == nil {
 			return rows, nil
 		}
@@ -352,7 +398,7 @@ func (c *Client) queryOnce(ctx context.Context, sql string) (*Rows, error) {
 // success it hands the connection to the returned Rows; on failure the
 // connection is closed (or repooled after a clean server error frame,
 // which leaves the connection synchronized).
-func (c *Client) openStream(ctx context.Context, conn net.Conn, sql string) (*Rows, error) {
+func (c *Client) openStream(ctx context.Context, conn net.Conn, span *obs.Span, sql string) (*Rows, error) {
 	conn.SetDeadline(c.requestDeadline(ctx))
 	w := watchCancel(ctx, conn)
 	fail := func(op string, err error) error {
@@ -361,7 +407,7 @@ func (c *Client) openStream(ctx context.Context, conn net.Conn, sql string) (*Ro
 		return wrapErr(ctx, op, err)
 	}
 	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, append([]byte{'Q'}, sql...)); err != nil {
+	if err := writeFrame(bw, encodeRequest('Q', span, sql)); err != nil {
 		return nil, fail("send query", err)
 	}
 	if err := bw.Flush(); err != nil {
@@ -502,14 +548,26 @@ func (c *Client) Estimate(ctx context.Context, sql string) (engine.Estimate, err
 	if err := ctx.Err(); err != nil {
 		return engine.Estimate{}, fmt.Errorf("wire: estimate: %w", ctxSentinel(err))
 	}
+	m := obs.M()
+	m.ClientRequestStart()
+	ctx, span := obs.StartSpan(ctx, "wire.client.estimate")
+	span.SetDetail(sql)
+	est, err := c.estimateRetry(ctx, span, sql)
+	span.End()
+	m.ClientRequestEnd(isDeadline(err))
+	return est, err
+}
+
+func (c *Client) estimateRetry(ctx context.Context, span *obs.Span, sql string) (engine.Estimate, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		if attempt > 0 {
+			obs.M().ClientRetry()
 			if err := c.backoff(ctx, attempt); err != nil {
 				return engine.Estimate{}, err
 			}
 		}
-		est, err := c.estimateOnce(ctx, sql)
+		est, err := c.estimateOnce(ctx, span, sql)
 		if err == nil {
 			return est, nil
 		}
@@ -521,7 +579,7 @@ func (c *Client) Estimate(ctx context.Context, sql string) (engine.Estimate, err
 	return engine.Estimate{}, lastErr
 }
 
-func (c *Client) estimateOnce(ctx context.Context, sql string) (engine.Estimate, error) {
+func (c *Client) estimateOnce(ctx context.Context, span *obs.Span, sql string) (engine.Estimate, error) {
 	for {
 		conn, reused, err := c.acquire(ctx)
 		if err != nil {
@@ -530,7 +588,7 @@ func (c *Client) estimateOnce(ctx context.Context, sql string) (engine.Estimate,
 			}
 			return engine.Estimate{}, wrapErr(ctx, "dial", err)
 		}
-		est, err := c.estimateOn(ctx, conn, sql)
+		est, err := c.estimateOn(ctx, conn, span, sql)
 		if err == nil {
 			return est, nil
 		}
@@ -543,7 +601,7 @@ func (c *Client) estimateOnce(ctx context.Context, sql string) (engine.Estimate,
 
 // estimateOn runs one estimate exchange on conn, returning it to the pool
 // on any complete response ('V' or a clean error frame).
-func (c *Client) estimateOn(ctx context.Context, conn net.Conn, sql string) (engine.Estimate, error) {
+func (c *Client) estimateOn(ctx context.Context, conn net.Conn, span *obs.Span, sql string) (engine.Estimate, error) {
 	conn.SetDeadline(c.requestDeadline(ctx))
 	w := watchCancel(ctx, conn)
 	fail := func(op string, err error) (engine.Estimate, error) {
@@ -552,7 +610,7 @@ func (c *Client) estimateOn(ctx context.Context, conn net.Conn, sql string) (eng
 		return engine.Estimate{}, wrapErr(ctx, op, err)
 	}
 	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, append([]byte{'E'}, sql...)); err != nil {
+	if err := writeFrame(bw, encodeRequest('E', span, sql)); err != nil {
 		return fail("send estimate", err)
 	}
 	if err := bw.Flush(); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"silkroute/internal/engine"
+	"silkroute/internal/obs"
 	"silkroute/internal/value"
 )
 
@@ -245,16 +246,43 @@ func (s *Server) ServeConn(conn net.Conn) {
 			conn.SetReadDeadline(time.Time{})
 		}
 
-		kind, sqlText := req[0], string(req[1:])
+		kind, payload := req[0], req[1:]
+		// Traced request kinds carry a 16-byte trace header (trace ID +
+		// parent span ID) between the kind byte and the SQL.
+		var trace obs.TraceID
+		var parent obs.SpanID
+		if kind == 'q' || kind == 'e' {
+			if len(payload) < 16 {
+				_ = writeError(bw, CodeBadRequest, "truncated trace header")
+				s.endRequest(conn)
+				return
+			}
+			trace = obs.TraceID(binary.BigEndian.Uint64(payload[:8]))
+			parent = obs.SpanID(binary.BigEndian.Uint64(payload[8:16]))
+			payload = payload[16:]
+			kind -= 0x20 // normalize 'q'/'e' → 'Q'/'E'
+		}
+		sqlText := string(payload)
+
+		m := obs.M()
+		m.ServerRequestStart()
+		start := time.Now()
 		keep := false
 		switch kind {
 		case 'E':
+			_, span := obs.StartRemoteSpan(ctx, "wire.server.estimate", trace, parent)
+			span.SetDetail(sqlText)
 			keep = s.serveEstimate(bw, sqlText)
+			span.End()
 		case 'Q':
-			keep = s.serveQuery(ctx, conn, bw, sqlText)
+			sctx, span := obs.StartRemoteSpan(ctx, "wire.server.query", trace, parent)
+			span.SetDetail(sqlText)
+			keep = s.serveQuery(sctx, conn, bw, sqlText)
+			span.End()
 		default:
 			keep = writeError(bw, CodeBadRequest, "unknown request kind") == nil
 		}
+		m.ServerRequestEnd(time.Since(start), errors.Is(ctx.Err(), context.DeadlineExceeded))
 		s.endRequest(conn)
 		if !keep {
 			return
@@ -266,6 +294,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 // serveQuery executes one SQL request and streams the result. It reports
 // whether the connection is still request-aligned and worth keeping.
 func (s *Server) serveQuery(ctx context.Context, conn net.Conn, bw *bufio.Writer, sqlText string) bool {
+	var rowsSent, bytesSent int64
+	defer func() { obs.M().ServerSent(rowsSent, bytesSent) }()
 	res, err := s.DB.ExecuteContext(ctx, sqlText)
 	if err != nil {
 		return writeError(bw, errCode(err), err.Error()) == nil
@@ -307,6 +337,8 @@ func (s *Server) serveQuery(ctx context.Context, conn net.Conn, bw *bufio.Writer
 			if err := writeFrame(bw, batch); err != nil {
 				return false
 			}
+			rowsSent += int64(batched)
+			bytesSent += int64(len(batch))
 			batch = batch[:0]
 			batched = 0
 		}
@@ -315,6 +347,8 @@ func (s *Server) serveQuery(ctx context.Context, conn net.Conn, bw *bufio.Writer
 		if err := writeFrame(bw, batch); err != nil {
 			return false
 		}
+		rowsSent += int64(batched)
+		bytesSent += int64(len(batch))
 	}
 	if err := writeFrame(bw, nil); err != nil { // terminator
 		return false

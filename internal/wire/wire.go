@@ -14,7 +14,14 @@
 //
 //	client → server:  one frame per request: a request byte then the SQL
 //	                  text — 'Q' to execute, 'E' to ask the optimizer for
-//	                  a cost/cardinality estimate (the oracle of §5)
+//	                  a cost/cardinality estimate (the oracle of §5).
+//	                  The lowercase kinds 'q' and 'e' are the traced
+//	                  variants: the request byte is followed by a 16-byte
+//	                  trace header — 8-byte big-endian trace ID then 8-byte
+//	                  parent span ID — before the SQL text, so the server's
+//	                  spans stitch under the client's request span in one
+//	                  trace. Untraced peers keep sending 'Q'/'E'; the
+//	                  response format is identical either way.
 //	server → client:  for 'Q': status frame 'E' + code byte + message, or
 //	                  'C' + uint16 column count + length-prefixed names
 //	                  (flushed immediately, so time-to-first-row stays

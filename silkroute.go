@@ -333,15 +333,54 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// Strategies returns every strategy, in declaration order.
+func Strategies() []Strategy {
+	return []Strategy{Unified, OuterUnion, FullyPartitioned, Greedy, UnifiedCTE}
+}
+
 // ParseStrategy parses a strategy name as produced by Strategy.String
-// (e.g. for command-line flags). Matching is case-insensitive.
+// (e.g. for command-line flags). Matching is case-insensitive; a near-miss
+// ("greedly", "full-partitioned") gets the closest valid name suggested.
 func ParseStrategy(name string) (Strategy, error) {
-	for _, s := range []Strategy{Unified, OuterUnion, FullyPartitioned, Greedy, UnifiedCTE} {
+	all := Strategies()
+	for _, s := range all {
 		if strings.EqualFold(name, s.String()) {
 			return s, nil
 		}
 	}
+	best, bestDist := Unified, len(name)+1
+	for _, s := range all {
+		if d := editDistance(strings.ToLower(name), s.String()); d < bestDist {
+			best, bestDist = s, d
+		}
+	}
+	// Suggest only when the typo is plausibly a slip of the intended name,
+	// not when the input is some unrelated word.
+	if bestDist <= 1+len(best.String())/3 {
+		return 0, fmt.Errorf("silkroute: unknown strategy %q (did you mean %q?)", name, best)
+	}
 	return 0, fmt.Errorf("silkroute: unknown strategy %q (want unified, outer-union, fully-partitioned, greedy, or unified-cte)", name)
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // View is a compiled RXL view bound to a database (local or remote).
@@ -415,12 +454,26 @@ type Report struct {
 	TotalTime     time.Duration // until the document was fully written
 	Rows          int64         // tuples transferred
 	SQL           []string      // the generated SQL, one statement per stream
+	// StreamStats breaks the run down per tuple stream, in the same order
+	// as SQL. The aggregate times hide per-stream skew; the skew is what
+	// the greedy planner trades on, so reports expose it.
+	StreamStats []StreamStat
 	// GreedyMandatory/GreedyOptional are set for the Greedy strategy: the
 	// edge indices the planner chose.
 	GreedyMandatory []int
 	GreedyOptional  []int
 	// EstimateRequests is the number of optimizer calls Greedy made.
 	EstimateRequests int64
+}
+
+// StreamStat is one tuple stream's share of a materialization.
+type StreamStat struct {
+	SQL       string        // the stream's generated query text
+	Rows      int64         // tuples the stream delivered
+	Bytes     int64         // payload bytes transferred (remote views only)
+	QueryTime time.Duration // server execution / time to first tuple
+	WallTime  time.Duration // through the last row drained into the tagger
+	Retries   int           // wire attempts beyond the first (0 for local views)
 }
 
 // Materialize evaluates the view with the given strategy and writes the
@@ -530,7 +583,108 @@ func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Repo
 	rep.QueryWallTime = m.QueryWallTime
 	rep.TotalTime = m.TotalTime
 	rep.Rows = m.Rows
+	rep.StreamStats = make([]StreamStat, len(m.PerStream))
+	for i, sm := range m.PerStream {
+		rep.StreamStats[i] = StreamStat{
+			SQL:       sm.SQL,
+			Rows:      sm.Rows,
+			Bytes:     sm.Bytes,
+			QueryTime: sm.QueryTime,
+			WallTime:  sm.WallTime,
+			Retries:   sm.Retries,
+		}
+	}
 	return rep, nil
+}
+
+// Explanation describes the plan a strategy chooses for a view, without
+// executing it: which view-tree edges the plan family keeps, and the SQL
+// of the representative plan's tuple streams. Print it with String.
+type Explanation struct {
+	Strategy Strategy
+	// Edges lists every view-tree edge as "parent→child:label", in index
+	// order; MandatoryEdges and OptionalEdges index into it.
+	Edges []string
+	// MandatoryEdges are the edge indices every plan of the family keeps.
+	// For the single-plan strategies this is simply the set of kept edges.
+	MandatoryEdges []int
+	// OptionalEdges is set for Greedy: edges the family may keep or cut,
+	// each subset yielding one near-optimal plan (2^n family members). The
+	// representative plan — the one Materialize executes — keeps them all.
+	OptionalEdges []int
+	// EstimateRequests is the number of optimizer calls Greedy made while
+	// choosing the family (zero for the fixed strategies).
+	EstimateRequests int64
+	// SQL holds the representative plan's queries, one per tuple stream.
+	SQL []string
+}
+
+// String renders the explanation as an indented, human-readable block.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy: %s\n", e.Strategy)
+	opt := make(map[int]bool, len(e.OptionalEdges))
+	for _, i := range e.OptionalEdges {
+		opt[i] = true
+	}
+	mand := make(map[int]bool, len(e.MandatoryEdges))
+	for _, i := range e.MandatoryEdges {
+		mand[i] = true
+	}
+	fmt.Fprintf(&b, "edges:\n")
+	for i, label := range e.Edges {
+		state := "cut"
+		switch {
+		case mand[i]:
+			state = "mandatory"
+		case opt[i]:
+			state = "optional"
+		}
+		fmt.Fprintf(&b, "  [%d] %s — %s\n", i, label, state)
+	}
+	if e.Strategy == Greedy {
+		fmt.Fprintf(&b, "plan family: %d member(s)\n", 1<<uint(len(e.OptionalEdges)))
+		fmt.Fprintf(&b, "estimate requests: %d\n", e.EstimateRequests)
+	}
+	fmt.Fprintf(&b, "streams: %d\n", len(e.SQL))
+	for i, sql := range e.SQL {
+		fmt.Fprintf(&b, "  [%d] %s\n", i, sql)
+	}
+	return b.String()
+}
+
+// Explain reports the plan the given strategy would execute — for Greedy,
+// it runs the planner (including its estimate requests) but executes no
+// queries and writes no document. The explanation's edge sets are exactly
+// the ones a subsequent Materialize with the same strategy uses.
+func (v *View) Explain(ctx context.Context, s Strategy) (*Explanation, error) {
+	p, rep, err := v.plan(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	e := &Explanation{
+		Strategy:         s,
+		Edges:            v.EdgeLabels(),
+		EstimateRequests: rep.EstimateRequests,
+	}
+	if s == Greedy {
+		e.MandatoryEdges = append(e.MandatoryEdges, rep.GreedyMandatory...)
+		e.OptionalEdges = append(e.OptionalEdges, rep.GreedyOptional...)
+	} else {
+		for i, keep := range p.Keep {
+			if keep {
+				e.MandatoryEdges = append(e.MandatoryEdges, i)
+			}
+		}
+	}
+	streams, err := p.Streams()
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range streams {
+		e.SQL = append(e.SQL, st.SQL())
+	}
+	return e, nil
 }
 
 // Schema declares the relations of a database in the paper's datalog-like
