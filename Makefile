@@ -2,7 +2,7 @@ GO ?= go
 # Pinned so CI and laptops run the same checker; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet staticcheck test test-race bench-smoke ci experiments
+.PHONY: all build vet staticcheck test test-race chaos bench-smoke ci experiments
 
 all: build
 
@@ -30,6 +30,20 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
+# Deterministic seeds for the chaos suite's equivalence sweep; override to
+# widen the matrix (CHAOS_SEEDS="1 2 3 4 5 6 7 8" make chaos).
+CHAOS_SEEDS ?= 1 2 3 5
+
+# The fault-injection suite under the race detector: every resilience test
+# (resume, breaker, stale-pool, chaos equivalence) across a deterministic
+# seed matrix. Separate from test-race so a resilience regression is
+# identifiable at a glance.
+chaos:
+	$(GO) test -race ./internal/chaos/
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race \
+		-run 'Chaos|Resume|Breaker|StreamLost|PoolSurvives|Backoff|Jitter' \
+		. ./internal/wire/ ./internal/plan/ ./internal/sqlgen/
+
 # One iteration of the parallel-execution grid: proves the benchmark and
 # the worker pool still run, without paying for a full measurement.
 # The captured output doubles as the CI artifact (bench-smoke.txt).
@@ -37,7 +51,7 @@ bench-smoke:
 	@$(GO) test -run '^$$' -bench ParallelExecute -benchtime 1x ./internal/plan > bench-smoke.txt 2>&1; \
 		status=$$?; cat bench-smoke.txt; exit $$status
 
-ci: vet staticcheck build test-race bench-smoke
+ci: vet staticcheck build test-race chaos bench-smoke
 
 experiments:
 	$(GO) run ./cmd/experiments

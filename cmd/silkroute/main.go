@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"silkroute"
+	"silkroute/internal/chaos"
 	"silkroute/internal/obs"
 	"silkroute/internal/rxl"
 )
@@ -46,6 +47,10 @@ func main() {
 	serve := flag.String("serve", "", "run as a database server on this address instead of materializing")
 	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (enables observability)")
+	chaosSpec := flag.String("chaos", "", "inject faults, e.g. \"seed=7,cutrow=100\" (server: kill streams; client: wrap the dialer)")
+	resume := flag.Int("resume", 0, "resume a died tuple stream mid-flight up to N times (remote only; 0 = fail on stream loss)")
+	breakerThreshold := flag.Int("breaker", 0, "open a circuit breaker after N consecutive transport failures (remote only; 0 = off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing (0 = 1s default)")
 	flag.Parse()
 
 	// Interrupt (^C) or SIGTERM cancels the context; every layer below —
@@ -68,7 +73,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "silkroute: serving database on %s\n", l.Addr())
-		if err := db.ServeContext(ctx, l); err != nil {
+		if *chaosSpec != "" {
+			fmt.Fprintf(os.Stderr, "silkroute: injecting faults: %s\n", *chaosSpec)
+			err = db.ServeChaosContext(ctx, l, *chaosSpec)
+		} else {
+			err = db.ServeContext(ctx, l)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -88,12 +99,36 @@ func main() {
 		silkroute.WithReduce(!*noReduce),
 		silkroute.WithParallelism(*parallelism),
 	}
+	if *resume > 0 {
+		opts = append(opts, silkroute.WithResume(*resume))
+	}
+	if *breakerThreshold > 0 {
+		opts = append(opts, silkroute.WithBreaker(*breakerThreshold, *breakerCooldown))
+	}
 
 	var view *silkroute.View
 	if *connect != "" {
 		// Remote middleware mode: the TPC-H schema is the local source
 		// description; data and optimizer live on the server.
-		remote := silkroute.ConnectTCP(*connect, opts...)
+		var remote *silkroute.Remote
+		if *chaosSpec != "" {
+			// Client-side fault injection: refuse dials, cut or delay the
+			// connections this client opens.
+			sp, err := chaos.ParseSpec(*chaosSpec)
+			if err != nil {
+				fatal(err)
+			}
+			var d net.Dialer
+			dial := chaos.New(sp).WrapDial(func(ctx context.Context) (net.Conn, error) {
+				return d.DialContext(ctx, "tcp", *connect)
+			})
+			remote = silkroute.ConnectFunc(func() (net.Conn, error) {
+				return dial(context.Background())
+			}, opts...)
+			fmt.Fprintf(os.Stderr, "silkroute: injecting faults: %s\n", *chaosSpec)
+		} else {
+			remote = silkroute.ConnectTCP(*connect, opts...)
+		}
 		defer remote.Close()
 		view, err = silkroute.ParseRemoteView(remote, silkroute.TPCHSourceDescription(), src, opts...)
 	} else {
@@ -136,6 +171,12 @@ func main() {
 			}
 			if st.Retries > 0 {
 				fmt.Fprintf(os.Stderr, " retries=%d", st.Retries)
+			}
+			if st.Resumes > 0 {
+				fmt.Fprintf(os.Stderr, " resumes=%d", st.Resumes)
+			}
+			if st.Restarts > 0 {
+				fmt.Fprintf(os.Stderr, " restarts=%d", st.Restarts)
 			}
 			fmt.Fprintln(os.Stderr)
 		}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +46,45 @@ type Database struct {
 	SortBudgetRows int
 
 	estimateRequests atomic.Int64
+
+	logMu    sync.Mutex
+	logging  bool
+	queryLog []QueryLogEntry
+}
+
+// QueryLogEntry records one executed SQL statement, for tests that need
+// to assert what actually reached the engine (e.g. that a resumed stream
+// re-fetched only the boundary suffix).
+type QueryLogEntry struct {
+	// SQL is the statement text as executed.
+	SQL string
+	// Rows is the result's row count (0 on error).
+	Rows int
+}
+
+// EnableQueryLog starts recording executed statements; it also clears any
+// previous log. Logging costs one mutex acquisition per query, so it is
+// off by default.
+func (db *Database) EnableQueryLog() {
+	db.logMu.Lock()
+	db.logging = true
+	db.queryLog = nil
+	db.logMu.Unlock()
+}
+
+// QueryLog returns a copy of the recorded statements, in execution order.
+func (db *Database) QueryLog() []QueryLogEntry {
+	db.logMu.Lock()
+	defer db.logMu.Unlock()
+	return append([]QueryLogEntry(nil), db.queryLog...)
+}
+
+func (db *Database) logQuery(sql string, rows int) {
+	db.logMu.Lock()
+	if db.logging {
+		db.queryLog = append(db.queryLog, QueryLogEntry{SQL: sql, Rows: rows})
+	}
+	db.logMu.Unlock()
 }
 
 // SortMemoryRows implements sqlexec.SortBudget.
@@ -126,7 +166,15 @@ func (db *Database) ExecuteContext(ctx context.Context, sql string) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecuteQueryContext(ctx, q)
+	res, err := db.ExecuteQueryContext(ctx, q)
+	if db.logging {
+		if err != nil {
+			db.logQuery(sql, 0)
+		} else {
+			db.logQuery(sql, res.Len())
+		}
+	}
+	return res, err
 }
 
 // ExecuteQuery runs an already-parsed statement without a deadline.

@@ -233,6 +233,20 @@ type ClientMetrics struct {
 	// DeadlineExceeded counts requests that hit a deadline (context or
 	// per-request timeout).
 	DeadlineExceeded Counter
+	// StaleConns counts pooled connections evicted by the liveness check
+	// (peer closed them while they sat idle).
+	StaleConns Counter
+	// Resumes counts mid-stream resume attempts (a started stream died and
+	// the client spliced in a key-range continuation).
+	Resumes Counter
+	// StreamsLost counts started streams that died unrecoverably (resume
+	// disabled, not armed, or budget exhausted).
+	StreamsLost Counter
+	// BreakerOpens counts circuit-breaker open transitions.
+	BreakerOpens Counter
+	// BreakerState is the current breaker state: 0 closed, 1 half-open,
+	// 2 open.
+	BreakerState Gauge
 }
 
 // ServerMetrics covers the wire server.
@@ -420,6 +434,48 @@ func (m *Metrics) ClientRetry() {
 		return
 	}
 	m.Client.Retries.Inc()
+}
+
+// ClientStaleConn records a pooled connection evicted by the liveness
+// check.
+func (m *Metrics) ClientStaleConn() {
+	if m == nil {
+		return
+	}
+	m.Client.StaleConns.Inc()
+}
+
+// ClientResume records one mid-stream resume attempt.
+func (m *Metrics) ClientResume() {
+	if m == nil {
+		return
+	}
+	m.Client.Resumes.Inc()
+}
+
+// ClientStreamLost records a started stream that died unrecoverably.
+func (m *Metrics) ClientStreamLost() {
+	if m == nil {
+		return
+	}
+	m.Client.StreamsLost.Inc()
+}
+
+// ClientBreakerOpen records a circuit-breaker open transition.
+func (m *Metrics) ClientBreakerOpen() {
+	if m == nil {
+		return
+	}
+	m.Client.BreakerOpens.Inc()
+}
+
+// ClientBreakerState records the breaker's current state (0 closed,
+// 1 half-open, 2 open).
+func (m *Metrics) ClientBreakerState(s int64) {
+	if m == nil {
+		return
+	}
+	m.Client.BreakerState.Set(s)
 }
 
 // ServerRequestStart records a wire request starting on the server.

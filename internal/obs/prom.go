@@ -54,6 +54,11 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	counter("silkroute_wire_client_pool_hits_total", "Wire requests served from the idle-connection pool.", m.Client.PoolHits.Value())
 	counter("silkroute_wire_client_retries_total", "Wire request retry attempts.", m.Client.Retries.Value())
 	counter("silkroute_wire_client_deadline_exceeded_total", "Wire requests that hit a deadline.", m.Client.DeadlineExceeded.Value())
+	counter("silkroute_wire_client_stale_conns_total", "Pooled connections evicted by the liveness check.", m.Client.StaleConns.Value())
+	counter("silkroute_wire_client_resumes_total", "Mid-stream resume attempts after transport failures.", m.Client.Resumes.Value())
+	counter("silkroute_wire_client_streams_lost_total", "Started streams that died unrecoverably.", m.Client.StreamsLost.Value())
+	counter("silkroute_wire_client_breaker_opens_total", "Circuit-breaker open transitions.", m.Client.BreakerOpens.Value())
+	gauge("silkroute_wire_client_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.", m.Client.BreakerState.Value())
 	gauge("silkroute_wire_client_inflight", "Wire requests currently outstanding.", m.Client.InFlight.Value())
 
 	counter("silkroute_wire_server_requests_total", "Wire requests served.", m.Server.Requests.Value())

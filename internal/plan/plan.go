@@ -15,6 +15,7 @@ package plan
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -152,6 +153,59 @@ type StreamMetrics struct {
 	// Retries counts wire attempts beyond the first (always zero for
 	// direct execution).
 	Retries int
+	// Resumes counts mid-stream resumes: the stream died after delivering
+	// rows and was spliced back together from its last sort key (wire
+	// execution with resume enabled; always zero otherwise).
+	Resumes int
+	// Restarts counts full re-executions of the stream after its resume
+	// budget ran out — the plan-level degradation that re-fetches just
+	// this stream from the top and fast-forwards past the delivered
+	// prefix.
+	Restarts int
+}
+
+// StreamSpec is one tuple stream's resume contract: its SQL text, the
+// output positions of its structural sort key, and the rewrite that turns
+// a boundary key into the stream's suffix query. The wire client consumes
+// it (via Wire) to splice a died stream back together mid-flight.
+type StreamSpec struct {
+	// SQL is the stream's full generated query.
+	SQL string
+	// SortKey holds the output-row positions of the structural sort key in
+	// ORDER BY order; nil when the stream is unordered (not resumable).
+	SortKey []int
+	stream  *sqlgen.Stream
+}
+
+func newStreamSpec(s *sqlgen.Stream) *StreamSpec {
+	return &StreamSpec{SQL: s.SQL(), SortKey: s.SortKey(), stream: s}
+}
+
+// Resumable reports whether the stream can be resumed mid-flight: it must
+// still carry its structural sort order.
+func (sp *StreamSpec) Resumable() bool { return sp.stream.Resumable() }
+
+// Wire returns the wire-client resume spec, or nil when the stream is not
+// resumable.
+func (sp *StreamSpec) Wire() *wire.ResumeSpec {
+	if !sp.Resumable() {
+		return nil
+	}
+	return &wire.ResumeSpec{KeyCols: sp.SortKey, Rewrite: sp.stream.ResumeSQL}
+}
+
+// StreamSpecs generates the plan's streams and returns their resume
+// contracts, in stream order.
+func (p *Plan) StreamSpecs() ([]*StreamSpec, error) {
+	streams, err := p.Streams()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]*StreamSpec, len(streams))
+	for i, s := range streams {
+		specs[i] = newStreamSpec(s)
+	}
+	return specs, nil
 }
 
 // resultSource adapts an engine result to a tagger source and counts the
@@ -288,23 +342,74 @@ func writeDoc(tg *tagger.Tagger, w io.Writer, inputs []tagger.Input, unordered b
 }
 
 // wireSource adapts a wire row stream to a tagger source and remembers
-// when the stream finished draining, for the per-stream wall time.
+// when the stream finished draining, for the per-stream wall time. When
+// restartsLeft is positive it also provides the plan-level degradation
+// path: a stream lost beyond the wire client's resume budget is
+// re-executed from the top and fast-forwarded past the rows already
+// handed to the tagger, so one exhausted stream doesn't fail the whole
+// document.
 type wireSource struct {
-	rows  *wire.Rows
-	start time.Time
-	wall  time.Duration // set once the stream reaches EOF
+	ctx    context.Context
+	client *wire.Client
+	sql    string
+	spec   *wire.ResumeSpec
+	rows   *wire.Rows
+	start  time.Time
+	wall   time.Duration // set once the stream reaches EOF
+
+	restartsLeft int
+	delivered    int64 // rows handed to the tagger so far
+	// Totals carried over from streams replaced by restarts; the final
+	// metrics fold these with the live stream's counters.
+	prevRows, prevBytes int64
+	prevResumes         int
+	restarts            int
 }
 
 func (s *wireSource) Next() ([]value.Value, bool, error) {
-	row, err := s.rows.Next()
-	if err == io.EOF {
-		s.wall = time.Since(s.start)
-		return nil, false, nil
+	for {
+		row, err := s.rows.Next()
+		if err == io.EOF {
+			s.wall = time.Since(s.start)
+			return nil, false, nil
+		}
+		if err != nil {
+			if s.restartsLeft > 0 && errors.Is(err, wire.ErrStreamLost) && s.ctx.Err() == nil {
+				if rerr := s.restart(); rerr == nil {
+					continue
+				}
+				// Restart failed too: surface the original typed loss.
+			}
+			return nil, false, err
+		}
+		s.delivered++
+		return row, true, nil
 	}
+}
+
+// restart replaces the lost stream with a fresh execution of the same
+// query (resume re-armed with a full budget) and skips the prefix already
+// delivered to the tagger. The skipped rows cross the wire again and so
+// stay counted in the transfer totals.
+func (s *wireSource) restart() error {
+	s.restartsLeft--
+	s.restarts++
+	s.prevRows += s.rows.RowCount
+	s.prevBytes += s.rows.BytesRead
+	s.prevResumes += s.rows.Resumes
+	s.rows.Close()
+	nr, err := s.client.QueryResumable(s.ctx, s.sql, s.spec)
 	if err != nil {
-		return nil, false, err
+		return err
 	}
-	return row, true, nil
+	for i := int64(0); i < s.delivered; i++ {
+		if _, err := nr.Next(); err != nil {
+			nr.Close()
+			return err
+		}
+	}
+	s.rows = nr
+	return nil
 }
 
 // ExecuteWire runs the plan through the wire protocol: all SQL queries are
@@ -327,6 +432,18 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 	start := time.Now()
 	m := Metrics{Streams: len(streams), PerStream: make([]StreamMetrics, len(streams))}
 
+	// With resume enabled on the client, every ordered stream is opened
+	// with its resume contract, and one plan-level restart per stream backs
+	// up the wire-level budget (graceful degradation).
+	wspecs := make([]*wire.ResumeSpec, len(streams))
+	restarts := 0
+	if client.MaxResumes() > 0 {
+		for i, s := range streams {
+			wspecs[i] = newStreamSpec(s).Wire()
+		}
+		restarts = 1
+	}
+
 	type opened struct {
 		rows *wire.Rows
 		err  error
@@ -339,7 +456,7 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 		go func(i int, sql string) {
 			defer wg.Done()
 			qs := time.Now()
-			rows, err := client.Query(ctx, sql)
+			rows, err := client.QueryResumable(ctx, sql, wspecs[i])
 			m.PerStream[i].QueryTime = time.Since(qs)
 			if rows != nil {
 				m.PerStream[i].Retries = rows.Attempts - 1
@@ -351,24 +468,33 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 	m.QueryTime = time.Since(start)
 	m.QueryWallTime = m.QueryTime
 
+	inputs := make([]tagger.Input, len(streams))
+	sources := make([]*wireSource, len(streams))
+	for i, r := range results {
+		if r.rows != nil {
+			sources[i] = &wireSource{
+				ctx: ctx, client: client, sql: streams[i].SQL(), spec: wspecs[i],
+				rows: r.rows, start: start, restartsLeft: restarts,
+			}
+		}
+	}
+
 	// Every opened stream is released on every exit path; Rows.Close is
-	// idempotent, so streams already closed at EOF are fine.
+	// idempotent, so streams already closed at EOF are fine. Sources hold
+	// the live Rows (a restart may have replaced the originally opened one).
 	closeAll := func() {
-		for _, o := range results {
-			if o.rows != nil {
-				o.rows.Close()
+		for _, s := range sources {
+			if s != nil {
+				s.rows.Close()
 			}
 		}
 	}
 	defer closeAll()
 
-	inputs := make([]tagger.Input, len(streams))
-	sources := make([]*wireSource, len(streams))
 	for i, r := range results {
 		if r.err != nil {
 			return Metrics{}, fmt.Errorf("plan: stream %d: %w", i, r.err)
 		}
-		sources[i] = &wireSource{rows: r.rows, start: start}
 		inputs[i] = tagger.Input{Meta: streams[i], Rows: sources[i]}
 	}
 	tg := tagger.New(p.Tree)
@@ -377,12 +503,16 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 		return Metrics{}, err
 	}
 	m.TotalTime = time.Since(start)
-	for i, r := range results {
-		m.Rows += r.rows.RowCount
-		m.Bytes += r.rows.BytesRead
-		m.PerStream[i].Rows = r.rows.RowCount
-		m.PerStream[i].Bytes = r.rows.BytesRead
-		if w := sources[i].wall; w > 0 {
+	for i, s := range sources {
+		rows := s.prevRows + s.rows.RowCount
+		bytes := s.prevBytes + s.rows.BytesRead
+		m.Rows += rows
+		m.Bytes += bytes
+		m.PerStream[i].Rows = rows
+		m.PerStream[i].Bytes = bytes
+		m.PerStream[i].Resumes = s.prevResumes + s.rows.Resumes
+		m.PerStream[i].Restarts = s.restarts
+		if w := s.wall; w > 0 {
 			m.PerStream[i].WallTime = w
 		} else {
 			m.PerStream[i].WallTime = m.TotalTime

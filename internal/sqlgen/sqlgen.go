@@ -79,6 +79,19 @@ type Stream struct {
 	Comp  *viewtree.Component
 	Query sqlast.Query
 	Cols  []StreamCol
+
+	// bodySQL is the query printed before the structural ORDER BY was
+	// attached. Resume queries (ResumeSQL) wrap the body in a derived
+	// table, and the SQL grammar forbids ORDER BY inside derived tables,
+	// so the body text is captured up front instead of reconstructed by
+	// mutating the shared AST.
+	bodySQL string
+	// outNames are the query's output column names in position order.
+	outNames []string
+	// sortKey holds the output positions of the structural sort key, in
+	// ORDER BY order; nil once StripOrder removes the ordering, since an
+	// unordered stream has no resumable prefix.
+	sortKey []int
 }
 
 // SQL renders the stream's query as SQL text.
@@ -560,8 +573,22 @@ func (g *gen) finishQuery(q sqlast.Query, cols []colID) (*Stream, error) {
 			meta = append(meta, StreamCol{Name: n})
 		}
 	}
+	// Capture the resume metadata before the ORDER BY mutates the tree:
+	// the body text, and where each sort-key column sits in the output row.
+	pos := make(map[string]int, len(outNames))
+	for i, n := range outNames {
+		pos[n] = i
+	}
+	sortKey := make([]int, 0, len(cols))
+	for _, c := range cols {
+		sortKey = append(sortKey, pos[c.name()])
+	}
+	bodySQL := sqlast.Print(q)
 	attachOrder(q, order)
-	return &Stream{Comp: g.comp, Query: q, Cols: meta}, nil
+	return &Stream{
+		Comp: g.comp, Query: q, Cols: meta,
+		bodySQL: bodySQL, outNames: outNames, sortKey: sortKey,
+	}, nil
 }
 
 // attachOrder sets the structural ORDER BY on a query, reaching through a
@@ -600,5 +627,10 @@ func operandExpr(o rxl.Operand) sqlast.Expr {
 
 // StripOrder removes the structural ORDER BY from the stream's query, for
 // the unordered ([9]) execution strategy where the client assembles the
-// document in memory and the server skips every sort.
-func (s *Stream) StripOrder() { attachOrder(s.Query, nil) }
+// document in memory and the server skips every sort. An unordered stream
+// delivers rows in no defined order, so it also loses its resumable sort
+// key.
+func (s *Stream) StripOrder() {
+	attachOrder(s.Query, nil)
+	s.sortKey = nil
+}

@@ -70,6 +70,20 @@ func (l *lexer) next() (token, error) {
 		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
 			l.pos++
 		}
+		// An exponent part ("1e+06", "2.5E-3") joins the number only when
+		// digits actually follow, so "1e" stays a number and an identifier.
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && l.src[j] >= '0' && l.src[j] <= '9' {
+				l.pos = j + 1
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			}
+		}
 		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
 	case c == '\'':
 		var b strings.Builder

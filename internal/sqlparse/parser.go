@@ -482,7 +482,7 @@ func (p *parser) parseOperand() (sqlast.Expr, error) {
 	switch t.kind {
 	case tokNumber:
 		p.advance()
-		if strings.Contains(t.text, ".") {
+		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
 				return nil, p.errorf("bad numeric literal %q: %v", t.text, err)

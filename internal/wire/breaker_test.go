@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const nationSQL = "select n.nationkey, n.name from Nation n order by n.nationkey"
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	var dials atomic.Int64
+	client := NewClient(func(context.Context) (net.Conn, error) {
+		dials.Add(1)
+		return nil, errors.New("connection refused")
+	}, WithBreaker(Breaker{Threshold: 3, Cooldown: time.Hour}))
+	defer client.Close()
+
+	for i := 0; i < 3; i++ {
+		_, err := client.Query(ctx, nationSQL)
+		if err == nil {
+			t.Fatal("query against a dead dialer succeeded")
+		}
+		if errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("request %d: breaker opened before the threshold: %v", i+1, err)
+		}
+	}
+	// The threshold is reached: subsequent requests fail fast without
+	// touching the dialer.
+	_, err := client.Query(ctx, nationSQL)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if got := dials.Load(); got != 3 {
+		t.Errorf("dial attempts = %d, want 3 (open breaker must not dial)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	db := wireDB(t)
+	srv := &Server{DB: db}
+	var fail atomic.Bool
+	fail.Store(true)
+	var dials atomic.Int64
+	const cooldown = 30 * time.Millisecond
+	client := NewClient(func(context.Context) (net.Conn, error) {
+		dials.Add(1)
+		if fail.Load() {
+			return nil, errors.New("connection refused")
+		}
+		c1, c2 := net.Pipe()
+		go srv.ServeConn(c2)
+		return c1, nil
+	}, WithBreaker(Breaker{Threshold: 1, Cooldown: cooldown}))
+	defer client.Close()
+
+	if _, err := client.Query(ctx, nationSQL); err == nil {
+		t.Fatal("query against a dead dialer succeeded")
+	}
+	if _, err := client.Query(ctx, nationSQL); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen while open", err)
+	}
+
+	// After the cooldown a single probe is admitted; it fails against the
+	// still-dead server, re-opening the breaker for another cooldown.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	before := dials.Load()
+	if _, err := client.Query(ctx, nationSQL); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("half-open probe was not admitted after cooldown")
+	}
+	if dials.Load() != before+1 {
+		t.Fatalf("probe did not dial: %d dials, want %d", dials.Load(), before+1)
+	}
+	if _, err := client.Query(ctx, nationSQL); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+
+	// Server recovers: the next probe succeeds and closes the breaker.
+	time.Sleep(cooldown + 10*time.Millisecond)
+	fail.Store(false)
+	rows, err := client.Query(ctx, nationSQL)
+	if err != nil {
+		t.Fatalf("probe against recovered server: %v", err)
+	}
+	drain(t, rows)
+	// Closed again: requests flow without cooldown waits.
+	rows, err = client.Query(ctx, nationSQL)
+	if err != nil {
+		t.Fatalf("query after breaker closed: %v", err)
+	}
+	drain(t, rows)
+}
+
+func TestBreakerCleanSQLErrorIsSuccess(t *testing.T) {
+	// A well-formed server error ('E' frame) proves the server is healthy;
+	// it must not trip the breaker.
+	client := InProcess(wireDB(t), WithBreaker(Breaker{Threshold: 1, Cooldown: time.Hour}))
+	defer client.Close()
+	if _, err := client.Query(ctx, "select g.x from Ghost g"); err == nil {
+		t.Fatal("query on unknown table succeeded")
+	}
+	rows, err := client.Query(ctx, nationSQL)
+	if err != nil {
+		t.Fatalf("query after clean SQL error: %v (breaker must stay closed)", err)
+	}
+	drain(t, rows)
+}
+
+func TestBackoffDelayDoublesAndCaps(t *testing.T) {
+	c := &Client{retry: Retry{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond}}
+	want := []time.Duration{
+		10 * time.Millisecond, // first retry
+		20 * time.Millisecond,
+		35 * time.Millisecond, // 40ms capped
+		35 * time.Millisecond, // stays at the cap
+	}
+	for i, w := range want {
+		if got := c.backoffDelay(i + 1); got != w {
+			t.Errorf("backoffDelay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Defaults: zero BaseDelay means 10ms, zero MaxDelay means uncapped.
+	d := &Client{}
+	if got := d.backoffDelay(1); got != 10*time.Millisecond {
+		t.Errorf("default backoffDelay(1) = %v, want 10ms", got)
+	}
+	if got := d.backoffDelay(12); got != 10*time.Millisecond<<11 {
+		t.Errorf("uncapped backoffDelay(12) = %v, want %v", got, 10*time.Millisecond<<11)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	// The documented contract: jitter(d) is uniform in [d/2, d] — full
+	// jitter on the upper half.
+	for _, d := range []time.Duration{1, 2, 10 * time.Millisecond, time.Second} {
+		lo, hi := d, time.Duration(0)
+		for i := 0; i < 300; i++ {
+			j := jitter(d)
+			if j < d/2 || j > d {
+				t.Fatalf("jitter(%v) = %v, outside [%v, %v]", d, j, d/2, d)
+			}
+			if j < lo {
+				lo = j
+			}
+			if j > hi {
+				hi = j
+			}
+		}
+		if d >= 10*time.Millisecond && lo == hi {
+			t.Errorf("jitter(%v) returned a constant %v over 300 samples", d, lo)
+		}
+	}
+}

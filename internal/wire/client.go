@@ -37,7 +37,9 @@ type Retry struct {
 	// BaseDelay is the backoff before the first retry; it doubles per
 	// attempt. Zero means 10ms.
 	BaseDelay time.Duration
-	// MaxDelay caps the backoff. Zero means uncapped.
+	// MaxDelay caps the pre-jitter backoff. Jitter is applied after the
+	// cap — full jitter on the upper half, so a capped attempt sleeps a
+	// uniform duration in [MaxDelay/2, MaxDelay]. Zero means uncapped.
 	MaxDelay time.Duration
 }
 
@@ -51,10 +53,20 @@ type Client struct {
 	poolSize       int
 	requestTimeout time.Duration
 	retry          Retry
+	resume         Resume
+	breaker        Breaker
 
 	mu     sync.Mutex
 	idle   []net.Conn
 	closed bool
+
+	// Circuit-breaker state (see breaker.go). One Client talks to one
+	// server, so consecutive-failure tracking is client-wide.
+	brMu       sync.Mutex
+	brState    breakerState
+	brFails    int
+	brOpenedAt time.Time
+	brProbe    bool // a half-open probe is in flight
 }
 
 // ClientOption configures a Client.
@@ -134,21 +146,33 @@ func (c *Client) Close() error {
 
 // acquire returns a pooled connection if one is idle, else dials. reused
 // reports whether the connection came from the pool (and so may have been
-// closed by the server while idle).
+// closed by the server while idle). Pooled connections get a cheap
+// liveness check first; a peer that went away while the connection idled
+// (server restart, idle timeout) is evicted and the next candidate tried,
+// so callers rarely burn a request attempt discovering a dead socket.
 func (c *Client) acquire(ctx context.Context) (conn net.Conn, reused bool, err error) {
-	c.mu.Lock()
-	if c.closed {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, false, ErrClientClosed
+		}
+		conn = nil
+		if n := len(c.idle); n > 0 {
+			conn = c.idle[n-1]
+			c.idle = c.idle[:n-1]
+		}
 		c.mu.Unlock()
-		return nil, false, ErrClientClosed
+		if conn == nil {
+			break
+		}
+		if connAlive(conn) {
+			obs.M().ClientPoolHit()
+			return conn, true, nil
+		}
+		conn.Close()
+		obs.M().ClientStaleConn()
 	}
-	if n := len(c.idle); n > 0 {
-		conn = c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		obs.M().ClientPoolHit()
-		return conn, true, nil
-	}
-	c.mu.Unlock()
 	conn, err = c.dial(ctx)
 	if err == nil {
 		obs.M().ClientDial()
@@ -237,9 +261,10 @@ func (c *Client) attempts() int {
 	return 1
 }
 
-// backoff sleeps the exponential backoff (with full jitter on the upper
-// half) before retry attempt number attempt, honoring ctx.
-func (c *Client) backoff(ctx context.Context, attempt int) error {
+// backoffDelay computes the pre-jitter backoff before retry attempt number
+// attempt (1 = the first retry): BaseDelay doubled per prior retry, capped
+// at MaxDelay. Pure, so the bounds are testable.
+func (c *Client) backoffDelay(attempt int) time.Duration {
 	d := c.retry.BaseDelay
 	if d <= 0 {
 		d = 10 * time.Millisecond
@@ -253,8 +278,22 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
 		d = c.retry.MaxDelay
 	}
-	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
-	t := time.NewTimer(d)
+	return d
+}
+
+// jitter applies full jitter to the upper half of a backoff: the result is
+// uniform in [d/2, d]. The lower bound keeps some separation between
+// retriers; the randomized upper half de-synchronizes them.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// backoff sleeps jitter(backoffDelay(attempt)) before retry attempt number
+// attempt, honoring ctx: the sleep is uniform in [delay/2, delay], where
+// delay doubles from BaseDelay and is capped at MaxDelay before the jitter
+// (so a capped attempt sleeps within [MaxDelay/2, MaxDelay]).
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	t := time.NewTimer(jitter(c.backoffDelay(attempt)))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -297,7 +336,8 @@ func transient(err error) bool {
 	if errors.As(err, &se) {
 		return false
 	}
-	return !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrCanceled)
+	return !errors.Is(err, ErrDeadlineExceeded) && !errors.Is(err, ErrCanceled) &&
+		!errors.Is(err, ErrCircuitOpen)
 }
 
 // Rows is one open tuple stream.
@@ -312,6 +352,10 @@ type Rows struct {
 	// Attempts is how many tries the logical request took before this
 	// stream opened (1 = no retry).
 	Attempts int
+	// Resumes is how many times the stream was resumed mid-flight after a
+	// transport failure (0 = the stream ran uninterrupted). Only streams
+	// opened with QueryResumable on a WithResume client ever resume.
+	Resumes int
 
 	ctx      context.Context
 	client   *Client
@@ -322,6 +366,12 @@ type Rows struct {
 	off      int    // decode offset of the next row within buf
 	done     bool
 	released bool
+
+	// Resume state (see resume.go). spec == nil means resume is not armed.
+	spec    *ResumeSpec
+	budget  int           // remaining resume attempts
+	lastKey []value.Value // sort key of the last delivered row
+	ties    int64         // delivered rows carrying exactly lastKey
 }
 
 // Query submits sql and returns the stream positioned before the first row.
@@ -335,18 +385,7 @@ type Rows struct {
 // pre-stream failures are retried under the client's Retry policy; a
 // stream that has started is never retried.
 func (c *Client) Query(ctx context.Context, sql string) (*Rows, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("wire: query: %w", ctxSentinel(err))
-	}
-	m := obs.M()
-	m.ClientRequestStart()
-	// One span per logical request: its IDs ride the wire on every attempt.
-	ctx, span := obs.StartSpan(ctx, "wire.client.query")
-	span.SetDetail(sql)
-	rows, err := c.queryRetry(ctx, span, sql)
-	span.End()
-	m.ClientRequestEnd(isDeadline(err))
-	return rows, err
+	return c.QueryResumable(ctx, sql, nil)
 }
 
 func (c *Client) queryRetry(ctx context.Context, span *obs.Span, sql string) (*Rows, error) {
@@ -371,10 +410,19 @@ func (c *Client) queryRetry(ctx context.Context, span *obs.Span, sql string) (*R
 	return nil, lastErr
 }
 
-// queryOnce runs one attempt. Stale pooled connections (closed by the
-// server while idle) are replaced with a fresh dial without consuming a
-// retry attempt.
+// queryOnce runs one breaker-guarded attempt. Stale pooled connections
+// (closed by the server while idle) are replaced with a fresh dial without
+// consuming a retry attempt.
 func (c *Client) queryOnce(ctx context.Context, span *obs.Span, sql string) (*Rows, error) {
+	if err := c.breakerAllow(); err != nil {
+		return nil, fmt.Errorf("wire: query: %w", err)
+	}
+	rows, err := c.queryAttempt(ctx, span, sql)
+	c.breakerDone(classifyBreaker(ctx.Err(), err))
+	return rows, err
+}
+
+func (c *Client) queryAttempt(ctx context.Context, span *obs.Span, sql string) (*Rows, error) {
 	for {
 		conn, reused, err := c.acquire(ctx)
 		if err != nil {
@@ -488,9 +536,13 @@ func (r *Rows) Next() ([]value.Value, error) {
 	for r.off >= len(r.buf) {
 		frame, err := readFrame(r.br, r.buf)
 		if err != nil {
-			werr := wrapErr(r.ctx, "read row", err)
-			r.release(false)
-			return nil, werr
+			// A transport failure mid-stream. tryResume either splices a
+			// continuation onto the stream (nil: loop and keep reading from
+			// the adopted connection) or returns the error to surface.
+			if rerr := r.tryResume(err); rerr != nil {
+				return nil, rerr
+			}
+			continue
 		}
 		r.buf, r.off = frame, 0
 		if len(frame) == 0 {
@@ -511,6 +563,7 @@ func (r *Rows) Next() ([]value.Value, error) {
 		r.off = len(r.buf)
 	}
 	r.RowCount++
+	r.noteDelivered(row)
 	return row, nil
 }
 
@@ -580,6 +633,15 @@ func (c *Client) estimateRetry(ctx context.Context, span *obs.Span, sql string) 
 }
 
 func (c *Client) estimateOnce(ctx context.Context, span *obs.Span, sql string) (engine.Estimate, error) {
+	if err := c.breakerAllow(); err != nil {
+		return engine.Estimate{}, fmt.Errorf("wire: estimate: %w", err)
+	}
+	est, err := c.estimateAttempt(ctx, span, sql)
+	c.breakerDone(classifyBreaker(ctx.Err(), err))
+	return est, err
+}
+
+func (c *Client) estimateAttempt(ctx context.Context, span *obs.Span, sql string) (engine.Estimate, error) {
 	for {
 		conn, reused, err := c.acquire(ctx)
 		if err != nil {

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package wire
+
+import "net"
+
+// connAlive on platforms without raw-descriptor access reports every
+// pooled connection alive; the per-request stale-redial loop still
+// replaces dead ones.
+func connAlive(net.Conn) bool { return true }

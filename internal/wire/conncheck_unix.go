@@ -1,0 +1,39 @@
+//go:build unix
+
+package wire
+
+import (
+	"errors"
+	"net"
+	"syscall"
+)
+
+// connAlive is the cheap liveness check on an idle pooled connection: a
+// non-blocking one-byte peek at the raw file descriptor, the same
+// technique database/sql drivers use. An idle, healthy connection has
+// nothing readable, so the peek returns EAGAIN; EOF means the peer closed
+// it while it sat in the pool (server restart, idle timeout), and pending
+// bytes mean the connection lost request alignment — both make it dead.
+//
+// Connections that expose no descriptor (in-memory pipes) report alive;
+// the per-request stale-redial loop still covers them.
+func connAlive(conn net.Conn) bool {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return true
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := false
+	rerr := rc.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		_, err := syscall.Read(int(fd), buf[:])
+		// EAGAIN is the only healthy answer; EOF (0, nil) and readable
+		// bytes both fail the check.
+		alive = errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.EWOULDBLOCK)
+		return true // never wait for readability; one probe decides
+	})
+	return rerr == nil && alive
+}

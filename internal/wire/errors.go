@@ -98,6 +98,24 @@ var (
 	// ErrServerClosed is returned by Server.Serve after Shutdown, mirroring
 	// net/http's contract.
 	ErrServerClosed = errors.New("wire: server closed")
+	// ErrCircuitOpen reports a request refused fast because the client's
+	// circuit breaker is open: the server failed Breaker.Threshold
+	// consecutive times and the cooldown has not elapsed. The request never
+	// touched the network, and the error is not transient — retrying
+	// immediately would defeat the breaker — so the retry loop gives up at
+	// once.
+	ErrCircuitOpen = errors.New("wire: circuit breaker open")
+	// ErrStreamLost reports a tuple stream that died mid-flight — after the
+	// column header, before the terminator — and could not be resumed: the
+	// rows already delivered cannot be trusted to be the whole result, and
+	// replaying the query from scratch is the caller's decision (plan
+	// executors do exactly that as a last resort). Test with errors.Is.
+	ErrStreamLost = errors.New("wire: stream lost mid-flight")
+	// ErrResumeExhausted reports a stream that died mid-flight and burned
+	// its whole resume budget trying to recover. It unwraps to
+	// ErrStreamLost, so errors.Is(err, ErrStreamLost) covers both the
+	// resume-disabled and budget-exhausted cases.
+	ErrResumeExhausted error = &sentinel{"wire: stream resume budget exhausted", ErrStreamLost}
 )
 
 // ctxSentinel converts a non-nil context error into the matching typed

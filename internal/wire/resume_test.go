@@ -1,0 +1,311 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/schema"
+	"silkroute/internal/value"
+)
+
+var errInjected = errors.New("injected fault")
+
+// bigDB builds Big(k int, v string) with keys 1..n, dup identical copies of
+// each row. Full-key ties being byte-identical rows is the invariant sorted
+// SilkRoute streams guarantee, and what makes count-based boundary skipping
+// exact.
+func bigDB(t *testing.T, n, dup int) *engine.Database {
+	t.Helper()
+	s := schema.New()
+	s.MustAddRelation("Big", []string{"k"},
+		schema.Column{Name: "k", Type: value.KindInt},
+		schema.Column{Name: "v", Type: value.KindString})
+	db := engine.NewDatabase(s)
+	tbl := db.MustTable("Big")
+	for i := 1; i <= n; i++ {
+		for d := 0; d < dup; d++ {
+			tbl.MustInsert(value.Int(int64(i)), value.String(fmt.Sprintf("row-%04d", i)))
+		}
+	}
+	return db
+}
+
+const bigSQL = "select t.k, t.v from Big t order by t.k"
+
+// bigSpec rewrites bigSQL to its suffix at/after the boundary key, the way
+// plan.StreamSpec does through sqlgen, but hand-rolled so the wire tests
+// stay independent of the SQL generator.
+func bigSpec() *ResumeSpec {
+	return &ResumeSpec{
+		KeyCols: []int{0},
+		Rewrite: func(key []value.Value) (string, error) {
+			if key == nil {
+				return bigSQL, nil
+			}
+			return fmt.Sprintf("select t.k, t.v from Big t where t.k >= %d order by t.k", key[0].AsInt()), nil
+		},
+	}
+}
+
+// faultClient wires a client straight to a server with the given RowFault.
+func faultClient(t *testing.T, db *engine.Database, fault func(string) func(int64) error, opts ...ClientOption) *Client {
+	t.Helper()
+	srv := &Server{DB: db, RowFault: fault}
+	client := NewClient(func(context.Context) (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		go srv.ServeConn(c2)
+		return c1, nil
+	}, opts...)
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// killEachTextOnceAt kills each distinct SQL text's stream at most once,
+// after `at` rows have been sent.
+func killEachTextOnceAt(at int64) func(string) func(int64) error {
+	var mu sync.Mutex
+	killed := make(map[string]bool)
+	return func(sql string) func(int64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if killed[sql] {
+			return nil
+		}
+		killed[sql] = true
+		return func(i int64) error {
+			if i >= at {
+				return errInjected
+			}
+			return nil
+		}
+	}
+}
+
+func checkBigRows(t *testing.T, got [][]value.Value, n, dup int) {
+	t.Helper()
+	if len(got) != n*dup {
+		t.Fatalf("got %d rows, want %d", len(got), n*dup)
+	}
+	for i, row := range got {
+		wantKey := int64(i/dup + 1)
+		if row[0].AsInt() != wantKey {
+			t.Fatalf("row %d: key %d, want %d (duplicate or gap at the resume boundary)", i, row[0].AsInt(), wantKey)
+		}
+		if want := fmt.Sprintf("row-%04d", wantKey); row[1].AsString() != want {
+			t.Fatalf("row %d: value %q, want %q", i, row[1].AsString(), want)
+		}
+	}
+}
+
+func TestResumeMidStream(t *testing.T) {
+	db := bigDB(t, 300, 1)
+	// Kill only the original query, once: exactly one resume finishes the job.
+	fault := killEachTextOnceAt(100)
+	onlyOriginal := func(sql string) func(int64) error {
+		if sql != bigSQL {
+			return nil
+		}
+		return fault(sql)
+	}
+	client := faultClient(t, db, onlyOriginal,
+		WithResume(Resume{MaxResumes: 3}),
+		WithRetry(Retry{BaseDelay: time.Millisecond}))
+
+	rows, err := client.QueryResumable(ctx, bigSQL, bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, rows)
+	checkBigRows(t, got, 300, 1)
+	if rows.Resumes != 1 {
+		t.Errorf("Resumes = %d, want 1", rows.Resumes)
+	}
+	if rows.RowCount != 300 {
+		t.Errorf("RowCount = %d, want 300", rows.RowCount)
+	}
+}
+
+func TestResumeChained(t *testing.T) {
+	// Every distinct query text — original and each continuation — is killed
+	// once at row 100, so the 300-row stream needs three chained resumes,
+	// each advancing the frontier past the previous cut.
+	db := bigDB(t, 300, 1)
+	client := faultClient(t, db, killEachTextOnceAt(100),
+		WithResume(Resume{MaxResumes: 5}),
+		WithRetry(Retry{BaseDelay: time.Millisecond}))
+
+	rows, err := client.QueryResumable(ctx, bigSQL, bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, rows)
+	checkBigRows(t, got, 300, 1)
+	if rows.Resumes != 3 {
+		t.Errorf("Resumes = %d, want 3", rows.Resumes)
+	}
+}
+
+func TestResumeSkipsBoundaryTies(t *testing.T) {
+	// Three identical rows per key; the cut at row 100 lands mid tie-group,
+	// so the continuation must skip exactly the delivered share of the group.
+	db := bigDB(t, 60, 3)
+	client := faultClient(t, db, killEachTextOnceAt(100),
+		WithResume(Resume{MaxResumes: 3}),
+		WithRetry(Retry{BaseDelay: time.Millisecond}))
+
+	rows, err := client.QueryResumable(ctx, bigSQL, bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, rows)
+	checkBigRows(t, got, 60, 3)
+	if rows.Resumes != 1 {
+		t.Errorf("Resumes = %d, want 1", rows.Resumes)
+	}
+}
+
+func TestResumeConstantKeyFastForwards(t *testing.T) {
+	// An empty key column set models a stream with a constant sort key:
+	// resume re-runs the query and fast-forwards past every delivered row.
+	db := bigDB(t, 40, 1)
+	client := faultClient(t, db, killEachTextOnceAt(15),
+		WithResume(Resume{MaxResumes: 3}),
+		WithRetry(Retry{BaseDelay: time.Millisecond}))
+
+	spec := &ResumeSpec{Rewrite: func(key []value.Value) (string, error) {
+		return bigSQL, nil
+	}}
+	rows, err := client.QueryResumable(ctx, bigSQL, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, rows)
+	checkBigRows(t, got, 40, 1)
+	if rows.Resumes != 1 {
+		t.Errorf("Resumes = %d, want 1", rows.Resumes)
+	}
+}
+
+func TestStreamLostWithoutResume(t *testing.T) {
+	// Same fault, but no resume budget: the stream must fail with the typed
+	// error rather than silently truncate, and a spec alone must not arm.
+	db := bigDB(t, 300, 1)
+	client := faultClient(t, db, killEachTextOnceAt(100))
+
+	rows, err := client.QueryResumable(ctx, bigSQL, bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = drainToError(rows)
+	if !errors.Is(err, ErrStreamLost) {
+		t.Fatalf("err = %v, want ErrStreamLost", err)
+	}
+	if errors.Is(err, ErrResumeExhausted) {
+		t.Fatalf("err = %v: unarmed stream must not report resume exhaustion", err)
+	}
+}
+
+func TestStreamLostNilSpec(t *testing.T) {
+	// Resume enabled but the stream opened through plain Query: the client
+	// cannot rewrite arbitrary SQL, so the loss surfaces as ErrStreamLost.
+	db := bigDB(t, 300, 1)
+	client := faultClient(t, db, killEachTextOnceAt(100),
+		WithResume(Resume{MaxResumes: 3}))
+
+	rows, err := client.Query(ctx, bigSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := drainToError(rows)
+	if !errors.Is(err, ErrStreamLost) {
+		t.Fatalf("err = %v, want ErrStreamLost", err)
+	}
+	if n != 100 {
+		t.Errorf("delivered %d rows before the loss, want 100", n)
+	}
+}
+
+func TestResumeBudgetExhausted(t *testing.T) {
+	// Every stream — original and continuations — dies after 10 rows, so the
+	// budget runs out even though each resume makes forward progress.
+	db := bigDB(t, 300, 1)
+	fault := func(string) func(int64) error {
+		return func(i int64) error {
+			if i >= 10 {
+				return errInjected
+			}
+			return nil
+		}
+	}
+	client := faultClient(t, db, fault,
+		WithResume(Resume{MaxResumes: 2}),
+		WithRetry(Retry{BaseDelay: time.Millisecond}))
+
+	rows, err := client.QueryResumable(ctx, bigSQL, bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := drainToError(rows)
+	if !errors.Is(err, ErrResumeExhausted) {
+		t.Fatalf("err = %v, want ErrResumeExhausted", err)
+	}
+	if !errors.Is(err, ErrStreamLost) {
+		t.Fatalf("err = %v: ErrResumeExhausted must also satisfy ErrStreamLost", err)
+	}
+	if rows.Resumes != 2 {
+		t.Errorf("Resumes = %d, want 2", rows.Resumes)
+	}
+	// 10 rows from the original, then 9 new rows per resume (each
+	// continuation re-sends one boundary row before dying at its row 10).
+	if n != 28 {
+		t.Errorf("delivered %d rows before exhaustion, want 28", n)
+	}
+}
+
+func TestResumeDetectsSourceChange(t *testing.T) {
+	// A continuation that starts strictly after the boundary key is missing
+	// the boundary rows: resume must fail permanently (source changed), not
+	// splice a corrupted stream.
+	db := bigDB(t, 300, 1)
+	spec := &ResumeSpec{
+		KeyCols: []int{0},
+		Rewrite: func(key []value.Value) (string, error) {
+			if key == nil {
+				return bigSQL, nil
+			}
+			return fmt.Sprintf("select t.k, t.v from Big t where t.k > %d order by t.k", key[0].AsInt()), nil
+		},
+	}
+	client := faultClient(t, db, killEachTextOnceAt(100),
+		WithResume(Resume{MaxResumes: 3}),
+		WithRetry(Retry{BaseDelay: time.Millisecond}))
+
+	rows, err := client.QueryResumable(ctx, bigSQL, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = drainToError(rows)
+	if err == nil || !strings.Contains(err.Error(), "source changed") {
+		t.Fatalf("err = %v, want a source-changed resume failure", err)
+	}
+}
+
+// drainToError reads rows until a terminal error (including io.EOF),
+// returning the count of rows delivered and that error.
+func drainToError(rows *Rows) (int, error) {
+	n := 0
+	for {
+		_, err := rows.Next()
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -31,6 +31,14 @@ type Server struct {
 	// running query is canceled and the connection closed. Zero means no
 	// limit.
 	RequestTimeout time.Duration
+	// RowFault, when set, is consulted once per query: a non-nil returned
+	// fault is then called before each result row with the count of rows
+	// already sent, and a non-nil fault error kills the connection at
+	// exactly that row — every earlier row is flushed first, so the client
+	// observes a clean prefix followed by a transport failure. This is the
+	// fault-injection hook the chaos harness uses to cut streams at a
+	// deterministic row; it costs one nil check per query when unset.
+	RowFault func(sql string) func(rowIndex int64) error
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -317,6 +325,11 @@ func (s *Server) serveQuery(ctx context.Context, conn net.Conn, bw *bufio.Writer
 		return false
 	}
 
+	var fault func(int64) error
+	if s.RowFault != nil {
+		fault = s.RowFault(sqlText)
+	}
+
 	// Rows ride in batch frames; the encode buffer is reused throughout.
 	// Once streaming has begun there is no in-band way to signal an error,
 	// so a canceled request just drops the connection — the client sees a
@@ -327,6 +340,19 @@ func (s *Server) serveQuery(ctx context.Context, conn net.Conn, bw *bufio.Writer
 		row, ok := res.Next()
 		if !ok {
 			break
+		}
+		if fault != nil {
+			if err := fault(rowsSent + int64(batched)); err != nil {
+				// Deterministic cut: deliver every row before the fault
+				// point, then die. Flushing the pending batch first makes
+				// "cut at row N" mean the client decodes exactly N rows.
+				if batched > 0 && writeFrame(bw, batch) == nil {
+					rowsSent += int64(batched)
+					bytesSent += int64(len(batch))
+				}
+				bw.Flush()
+				return false
+			}
 		}
 		batch = value.EncodeRow(batch, row)
 		batched++

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"silkroute/internal/chaos"
 	"silkroute/internal/engine"
 	"silkroute/internal/plan"
 	"silkroute/internal/rxl"
@@ -26,6 +27,16 @@ import (
 // database's source description says it lacks (§3.4). Test for it with
 // errors.Is.
 var ErrUnsupportedPlan = errors.New("silkroute: plan not permissible on target")
+
+// ErrStreamLost reports a tuple stream that died mid-flight and could not
+// be recovered — resume was disabled, the stream was not resumable, or
+// its resume budget ran out. Test for it with errors.Is.
+var ErrStreamLost = wire.ErrStreamLost
+
+// ErrCircuitOpen reports a request refused fast because the connection's
+// circuit breaker is open (the target failed repeatedly and is cooling
+// down). Test for it with errors.Is.
+var ErrCircuitOpen = wire.ErrCircuitOpen
 
 // Retry configures how a remote connection retries dial-time and transient
 // failures. A query whose tuple stream has started is never retried — the
@@ -56,12 +67,17 @@ type config struct {
 	parallelism int
 	parSet      bool
 
-	retry      Retry
-	retrySet   bool
-	poolSize   int
-	poolSet    bool
-	timeout    time.Duration
-	timeoutSet bool
+	retry            Retry
+	retrySet         bool
+	poolSize         int
+	poolSet          bool
+	timeout          time.Duration
+	timeoutSet       bool
+	maxResumes       int
+	resumeSet        bool
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	breakerSet       bool
 }
 
 // WithWrapper sets the document element wrapped around a view's output;
@@ -105,6 +121,28 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(c *config) { c.timeout, c.timeoutSet = d, true }
 }
 
+// WithResume enables mid-stream failure recovery on a remote connection:
+// a tuple stream that dies after delivering rows is resumed with a
+// key-range query from its last structural sort key and spliced back
+// together, so the document comes out byte-identical to a fault-free run.
+// maxResumes bounds the recovery attempts per stream (a stream whose
+// budget runs out fails with ErrStreamLost); <= 0 disables resume, the
+// default. Connection option.
+func WithResume(maxResumes int) Option {
+	return func(c *config) { c.maxResumes, c.resumeSet = maxResumes, true }
+}
+
+// WithBreaker adds a circuit breaker to a remote connection: threshold
+// consecutive transport failures open it, requests then fail fast with
+// ErrCircuitOpen until cooldown elapses, after which a single probe
+// request decides whether to close it again. threshold <= 0 disables the
+// breaker (the default); cooldown 0 means one second. Connection option.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *config) {
+		c.breakerThreshold, c.breakerCooldown, c.breakerSet = threshold, cooldown, true
+	}
+}
+
 // clientOptions translates the connection-side options into wire options.
 func (c *config) clientOptions() []wire.ClientOption {
 	var out []wire.ClientOption
@@ -120,6 +158,15 @@ func (c *config) clientOptions() []wire.ClientOption {
 	}
 	if c.timeoutSet {
 		out = append(out, wire.WithRequestTimeout(c.timeout))
+	}
+	if c.resumeSet {
+		out = append(out, wire.WithResume(wire.Resume{MaxResumes: c.maxResumes}))
+	}
+	if c.breakerSet {
+		out = append(out, wire.WithBreaker(wire.Breaker{
+			Threshold: c.breakerThreshold,
+			Cooldown:  c.breakerCooldown,
+		}))
 	}
 	return out
 }
@@ -279,6 +326,46 @@ func (db *DB) ServeContext(ctx context.Context, l net.Listener) error {
 // shutdownGrace bounds how long ServeContext waits for in-flight requests
 // when its context ends.
 const shutdownGrace = 5 * time.Second
+
+// ServeChaosContext is ServeContext with fault injection: the spec (see
+// the chaos package's ParseSpec; e.g. "seed=7,cutrow=100" kills each
+// query's stream after 100 rows) is applied to every accepted connection
+// and to the row streams the server produces. It exists to rehearse the
+// client-side resilience machinery — retry, resume, circuit breaking —
+// against a server that fails on purpose, deterministically.
+func (db *DB) ServeChaosContext(ctx context.Context, l net.Listener, spec string) error {
+	sp, err := chaos.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	in := chaos.New(sp)
+	srv := &wire.Server{DB: db.eng, RowFault: in.RowFault}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(in.Listener(l)) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err = srv.Shutdown(sctx)
+	<-done
+	return err
+}
+
+// EnableQueryLog starts recording every SQL statement the database
+// executes (clearing any previous log); QueryLog returns the record. Off
+// by default. Intended for tests and debugging — e.g. asserting that a
+// resumed stream re-fetched only the rows at/after its boundary key.
+func (db *DB) EnableQueryLog() { db.eng.EnableQueryLog() }
+
+// QueryLogEntry is one executed statement: its SQL text and result size.
+type QueryLogEntry = engine.QueryLogEntry
+
+// QueryLog returns the statements executed since EnableQueryLog, in
+// order.
+func (db *DB) QueryLog() []QueryLogEntry { return db.eng.QueryLog() }
 
 // SetSortBudget bounds the engine's in-memory sorts to the given number
 // of rows; larger sorts spill to disk through an external merge sort,
@@ -474,6 +561,8 @@ type StreamStat struct {
 	QueryTime time.Duration // server execution / time to first tuple
 	WallTime  time.Duration // through the last row drained into the tagger
 	Retries   int           // wire attempts beyond the first (0 for local views)
+	Resumes   int           // mid-stream resumes after transport failures (remote views with WithResume)
+	Restarts  int           // full re-executions after the resume budget ran out
 }
 
 // Materialize evaluates the view with the given strategy and writes the
@@ -592,6 +681,8 @@ func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Repo
 			QueryTime: sm.QueryTime,
 			WallTime:  sm.WallTime,
 			Retries:   sm.Retries,
+			Resumes:   sm.Resumes,
+			Restarts:  sm.Restarts,
 		}
 	}
 	return rep, nil
