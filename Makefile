@@ -2,7 +2,7 @@ GO ?= go
 # Pinned so CI and laptops run the same checker; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet staticcheck test test-race chaos bench-smoke ci experiments
+.PHONY: all build vet staticcheck test test-race chaos cache-check bench-smoke bench-json ci experiments
 
 all: build
 
@@ -44,14 +44,40 @@ chaos:
 		-run 'Chaos|Resume|Breaker|StreamLost|PoolSurvives|Backoff|Jitter' \
 		. ./internal/wire/ ./internal/plan/ ./internal/sqlgen/
 
+# The caching layer's correctness gate under the race detector: cached and
+# uncached materializations must be byte-identical across every strategy
+# family, base-table writes must always invalidate, a killed run must never
+# leave a partial fragment behind, and both cache packages' unit suites
+# must pass.
+cache-check:
+	$(GO) test $(GOFLAGS) -race -run 'Cache|Invalidation' -count=1 .
+	$(GO) test $(GOFLAGS) -race ./internal/plancache/ ./internal/fragcache/
+
 # One iteration of the parallel-execution grid: proves the benchmark and
 # the worker pool still run, without paying for a full measurement.
 # The captured output doubles as the CI artifact (bench-smoke.txt).
 bench-smoke:
-	@$(GO) test -run '^$$' -bench ParallelExecute -benchtime 1x ./internal/plan > bench-smoke.txt 2>&1; \
+	@$(GO) test $(GOFLAGS) -run '^$$' -bench ParallelExecute -benchtime 1x ./internal/plan > bench-smoke.txt 2>&1; \
 		status=$$?; cat bench-smoke.txt; exit $$status
 
-ci: vet staticcheck build test-race chaos bench-smoke
+# The core benchmarks (cache speedup, parallel execution, hash join, tagger
+# memory, wire transfer) in machine-readable form: one pass each, three
+# samples, parsed by cmd/benchjson into BENCH_6.json — committed at the
+# repo root and archived by CI so later PRs can diff ns/op, B/op, and
+# allocs/op without scraping logs.
+bench-json:
+	@$(GO) test $(GOFLAGS) -run '^$$' \
+		-bench 'MaterializeCached|TaggerConstantSpace|WireTransfer' \
+		-benchtime 1x -count 3 . > bench-raw.txt 2>&1 && \
+	$(GO) test $(GOFLAGS) -run '^$$' -bench ParallelExecute -benchtime 1x -count 3 \
+		./internal/plan >> bench-raw.txt 2>&1 && \
+	$(GO) test $(GOFLAGS) -run '^$$' -bench HashJoin -benchtime 1x -count 3 \
+		./internal/sqlexec >> bench-raw.txt 2>&1; \
+	status=$$?; cat bench-raw.txt; \
+	if [ $$status -eq 0 ]; then $(GO) run ./cmd/benchjson -o BENCH_6.json bench-raw.txt; fi; \
+	rm -f bench-raw.txt; exit $$status
+
+ci: vet staticcheck build test-race chaos cache-check bench-smoke bench-json
 
 experiments:
 	$(GO) run ./cmd/experiments

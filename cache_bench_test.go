@@ -1,0 +1,73 @@
+package silkroute
+
+import (
+	"io"
+	"testing"
+
+	"silkroute/internal/rxl"
+)
+
+// BenchmarkMaterializeCached measures the tentpole speedup. "cold" is the
+// full pipeline — plan, SQL streams, sorted-merge tagging — on an uncached
+// view; "planhit" keeps the fragment cache off so only planning is skipped
+// (for Greedy, the search and its estimate requests); "warm" serves the
+// whole document from the fragment cache. The acceptance bar is warm at
+// least 5x faster than cold; in practice it is orders of magnitude.
+func BenchmarkMaterializeCached(b *testing.B) {
+	db := OpenTPCH(0.001, 42)
+
+	b.Run("cold", func(b *testing.B) {
+		v, err := ParseView(db, rxl.Query1Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.Materialize(ctx, io.Discard, OuterUnion); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("planhit", func(b *testing.B) {
+		v, err := ParseView(db, rxl.Query1Source, WithPlanCache())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Materialize(ctx, io.Discard, Greedy); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := v.Materialize(ctx, io.Discard, Greedy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.PlanCached {
+				b.Fatal("expected a plan-cache hit")
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		v, err := ParseView(db, rxl.Query1Source, WithPlanCache(), WithFragmentCache(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Materialize(ctx, io.Discard, OuterUnion); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := v.Materialize(ctx, io.Discard, OuterUnion)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.FragmentCached {
+				b.Fatal("expected a fragment-cache hit")
+			}
+		}
+	})
+}

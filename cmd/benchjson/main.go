@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// machine-readable JSON document, so CI can archive benchmark runs (see
+// `make bench-json`, which commits the result as BENCH_6.json) and later
+// PRs can diff ns/op, B/op, and allocs/op without scraping logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . | benchjson -o bench.json
+//	benchjson -o bench.json bench-raw.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. The three standard measurements get their
+// own fields; any other unit (MB/s, custom b.ReportMetric units) lands in
+// Extra keyed by unit name.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// Doc is the whole run: the environment header go test prints once per
+// package, plus every benchmark line in input order.
+type Doc struct {
+	Goos       string   `json:"goos"`
+	Goarch     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input"))
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func parse(in io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			r.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, r)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench splits "BenchmarkX-8  10  123 ns/op  45 B/op  6 allocs/op":
+// name, iteration count, then (value, unit) pairs.
+func parseBench(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Result{}, fmt.Errorf("want name, iterations, value/unit pairs")
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	r := Result{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("value for %s: %w", f[i+1], err)
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsOp = val
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[f[i+1]] = val
+		}
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

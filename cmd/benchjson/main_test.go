@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: silkroute
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMaterializeCached/cold-8         	      10	 269892094 ns/op	198603184 B/op	  559991 allocs/op
+BenchmarkMaterializeCached/warm-8         	      10	     29485 ns/op	   15041 B/op	     278 allocs/op
+PASS
+ok  	silkroute	5.552s
+pkg: silkroute/internal/plan
+BenchmarkParallelExecute/workers=4-8      	       1	  1234567 ns/op	       42.5 MB/s
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	warm := doc.Benchmarks[1]
+	if warm.Pkg != "silkroute" || warm.Name != "BenchmarkMaterializeCached/warm-8" {
+		t.Errorf("warm identity: %+v", warm)
+	}
+	if warm.Iterations != 10 || warm.NsPerOp != 29485 || warm.BytesPerOp != 15041 || warm.AllocsOp != 278 {
+		t.Errorf("warm measurements: %+v", warm)
+	}
+	pe := doc.Benchmarks[2]
+	if pe.Pkg != "silkroute/internal/plan" {
+		t.Errorf("second package not tracked: %+v", pe)
+	}
+	if pe.Extra["MB/s"] != 42.5 {
+		t.Errorf("extra unit lost: %+v", pe)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8",
+		"BenchmarkX-8 ten 1 ns/op",
+		"BenchmarkX-8 10 fast ns/op",
+	} {
+		if _, err := parseBench(bad); err == nil {
+			t.Errorf("parseBench(%q) accepted", bad)
+		}
+	}
+}

@@ -42,6 +42,8 @@ func main() {
 	repeat := flag.Int("repeat", 1, "runs per plan (fastest kept)")
 	parallel := flag.Int("parallel", 1, "concurrent plan measurements and greedy estimates (0 = one per CPU, 1 = serial)")
 	csvDir := flag.String("csv", "", "also write the Figure 13/14 sweeps as CSV files into this directory")
+	planCache := flag.Bool("plancache", false, "memoize compiled plans across -exp single repeats")
+	fragCache := flag.Int64("fragcache", 0, "cache materialized XML under this byte budget for -exp single repeats (0 = off, -1 = unbounded)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -81,7 +83,7 @@ func main() {
 		"ratios":      s.Ratios,
 		"spill":       s.SpillAblation,
 		"single": func() error {
-			return runSingle(ctx, os.Stdout, *strategy, *query, *scaleA, *parallel)
+			return runSingle(ctx, os.Stdout, *strategy, *query, *scaleA, *parallel, *repeat, *planCache, *fragCache)
 		},
 	}
 	f, ok := steps[*exp]
@@ -116,7 +118,7 @@ func main() {
 // runSingle materializes one built-in query with one strategy through the
 // public facade — a smoke experiment for comparing individual strategies
 // without sweeping the whole plan space.
-func runSingle(ctx context.Context, w io.Writer, strategy string, query int, scale float64, parallel int) error {
+func runSingle(ctx context.Context, w io.Writer, strategy string, query int, scale float64, parallel, repeat int, planCache bool, fragBytes int64) error {
 	strat, err := silkroute.ParseStrategy(strategy)
 	if err != nil {
 		return err
@@ -128,21 +130,40 @@ func runSingle(ctx context.Context, w io.Writer, strategy string, query int, sca
 		return fmt.Errorf("unknown query %d (want 1 or 2)", query)
 	}
 	db := silkroute.OpenTPCH(scale, 42)
-	view, err := silkroute.ParseView(db, src, silkroute.WithParallelism(parallel))
+	opts := []silkroute.Option{silkroute.WithParallelism(parallel)}
+	if planCache {
+		opts = append(opts, silkroute.WithPlanCache())
+	}
+	if fragBytes != 0 {
+		opts = append(opts, silkroute.WithFragmentCache(fragBytes))
+	}
+	view, err := silkroute.ParseView(db, src, opts...)
 	if err != nil {
 		return err
 	}
-	rep, err := view.Materialize(ctx, io.Discard, strat)
-	if err != nil {
-		return err
+	if repeat < 1 {
+		repeat = 1
 	}
-	fmt.Fprintf(w, "query %d  strategy %-17s  streams %2d  rows %6d  query %8.3fms  total %8.3fms\n",
-		query, rep.Strategy, rep.Streams, rep.Rows,
-		float64(rep.QueryTime.Microseconds())/1000, float64(rep.TotalTime.Microseconds())/1000)
-	for i, st := range rep.StreamStats {
-		fmt.Fprintf(w, "  stream %d  rows %6d  query %8.3fms  wall %8.3fms\n",
-			i+1, st.Rows,
-			float64(st.QueryTime.Microseconds())/1000, float64(st.WallTime.Microseconds())/1000)
+	for run := 0; run < repeat; run++ {
+		rep, err := view.Materialize(ctx, io.Discard, strat)
+		if err != nil {
+			return err
+		}
+		var cached string
+		switch {
+		case rep.FragmentCached:
+			cached = "  [fragment cache]"
+		case rep.PlanCached:
+			cached = "  [plan cache]"
+		}
+		fmt.Fprintf(w, "query %d  strategy %-17s  streams %2d  rows %6d  query %8.3fms  total %8.3fms%s\n",
+			query, rep.Strategy, rep.Streams, rep.Rows,
+			float64(rep.QueryTime.Microseconds())/1000, float64(rep.TotalTime.Microseconds())/1000, cached)
+		for i, st := range rep.StreamStats {
+			fmt.Fprintf(w, "  stream %d  rows %6d  query %8.3fms  wall %8.3fms\n",
+				i+1, st.Rows,
+				float64(st.QueryTime.Microseconds())/1000, float64(st.WallTime.Microseconds())/1000)
+		}
 	}
 	return nil
 }

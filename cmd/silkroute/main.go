@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -51,6 +52,9 @@ func main() {
 	resume := flag.Int("resume", 0, "resume a died tuple stream mid-flight up to N times (remote only; 0 = fail on stream loss)")
 	breakerThreshold := flag.Int("breaker", 0, "open a circuit breaker after N consecutive transport failures (remote only; 0 = off)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing (0 = 1s default)")
+	planCache := flag.Bool("plan-cache", false, "memoize compiled plans across materializations (see -repeat)")
+	fragCache := flag.Int64("fragment-cache", 0, "cache materialized XML under this byte budget (0 = off, -1 = unbounded)")
+	repeat := flag.Int("repeat", 1, "materialize the view N times (first run writes to stdout; later runs exercise the caches)")
 	flag.Parse()
 
 	// Interrupt (^C) or SIGTERM cancels the context; every layer below —
@@ -105,6 +109,12 @@ func main() {
 	if *breakerThreshold > 0 {
 		opts = append(opts, silkroute.WithBreaker(*breakerThreshold, *breakerCooldown))
 	}
+	if *planCache {
+		opts = append(opts, silkroute.WithPlanCache())
+	}
+	if *fragCache != 0 {
+		opts = append(opts, silkroute.WithFragmentCache(*fragCache))
+	}
 
 	var view *silkroute.View
 	if *connect != "" {
@@ -152,6 +162,17 @@ func main() {
 	}
 	if err := out.Flush(); err != nil {
 		fatal(err)
+	}
+
+	// Repeat runs hit the caches; the document already went to stdout, so
+	// they write to a sink and report per-run cache behaviour on stderr.
+	for i := 1; i < *repeat; i++ {
+		r, err := view.Materialize(ctx, io.Discard, strat)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "silkroute: run %d: total=%v plan-cached=%v fragment-cached=%v\n",
+			i+1, r.TotalTime, r.PlanCached, r.FragmentCached)
 	}
 
 	if *explain {

@@ -47,6 +47,14 @@ type Database struct {
 
 	estimateRequests atomic.Int64
 
+	// epoch counts writes across all tables — the stats epoch that keys the
+	// middleware's plan cache: any insert anywhere bumps it, so plans
+	// compiled against older statistics stop matching.
+	epoch atomic.Int64
+
+	hookMu     sync.Mutex
+	writeHooks []func(table string)
+
 	logMu    sync.Mutex
 	logging  bool
 	queryLog []QueryLogEntry
@@ -95,9 +103,52 @@ func (db *Database) SortMemoryRows() int { return db.SortBudgetRows }
 func NewDatabase(s *schema.Schema) *Database {
 	db := &Database{Schema: s, tables: make(map[string]*table.Table)}
 	for name, rel := range s.Relations {
-		db.tables[name] = table.New(rel)
+		t := table.New(rel)
+		// Hooking at the table level catches every write path — facade
+		// Insert, CSV loads, the TPC-H generator — without each caller
+		// having to know about epochs.
+		tableName := name
+		t.SetWriteHook(func() { db.noteWrite(tableName) })
+		db.tables[name] = t
 	}
 	return db
+}
+
+// noteWrite records one row landing in the named table: the stats epoch
+// moves and every registered write hook is told which table changed.
+func (db *Database) noteWrite(tableName string) {
+	db.epoch.Add(1)
+	db.hookMu.Lock()
+	hooks := db.writeHooks
+	db.hookMu.Unlock()
+	for _, h := range hooks {
+		h(tableName)
+	}
+}
+
+// StatsEpoch returns the database's write epoch: it changes whenever any
+// table absorbs a row. Caches compiled against statistics (or data) from
+// an older epoch must revalidate.
+func (db *Database) StatsEpoch() int64 { return db.epoch.Load() }
+
+// TableVersion returns the named table's write version, or -1 when the
+// relation does not exist. Lookup is case-insensitive like Lookup.
+func (db *Database) TableVersion(name string) int64 {
+	t, ok := db.Lookup(name)
+	if !ok {
+		return -1
+	}
+	return t.Version()
+}
+
+// RegisterWriteHook adds a function called after every row insert with the
+// (lower-cased) name of the table written. Hooks run on the inserting
+// goroutine and must be fast and non-blocking; the fragment cache
+// registers its reverse-index invalidation here.
+func (db *Database) RegisterWriteHook(fn func(table string)) {
+	db.hookMu.Lock()
+	db.writeHooks = append(db.writeHooks, fn)
+	db.hookMu.Unlock()
 }
 
 // Lookup implements sqlexec.Catalog.

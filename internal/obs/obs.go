@@ -249,6 +249,33 @@ type ClientMetrics struct {
 	BreakerState Gauge
 }
 
+// CacheMetrics covers the middleware's two-level cache: the plan cache
+// (compiled plan families keyed by view/strategy/stats-epoch) and the
+// fragment cache (materialized XML under a byte budget).
+type CacheMetrics struct {
+	// PlanHits counts plan requests answered by the plan cache — each one a
+	// skipped planning pass (for Greedy, a skipped search and all of its
+	// estimate requests).
+	PlanHits Counter
+	// PlanMisses counts plan-cache lookups that fell through to planning.
+	PlanMisses Counter
+	// FragmentHits counts materializations served whole from the fragment
+	// cache: no planning, no SQL, no tagging.
+	FragmentHits Counter
+	// FragmentMisses counts fragment-cache lookups that fell through to a
+	// cold run (absent entries and entries discarded as stale).
+	FragmentMisses Counter
+	// FragmentEvictions counts entries evicted to respect the byte budget.
+	FragmentEvictions Counter
+	// FragmentInvalidations counts entries dropped by write invalidation
+	// (base-table writes through the reverse index, or staleness detected
+	// at serve time).
+	FragmentInvalidations Counter
+	// FragmentBytes is the fragment cache's current size in bytes (the
+	// cache_bytes gauge).
+	FragmentBytes Gauge
+}
+
 // ServerMetrics covers the wire server.
 type ServerMetrics struct {
 	// Requests counts wire requests served (queries + estimates).
@@ -274,6 +301,7 @@ type Metrics struct {
 	Planner PlannerMetrics
 	Exec    ExecMetrics
 	Tagger  TaggerMetrics
+	Cache   CacheMetrics
 	Client  ClientMetrics
 	Server  ServerMetrics
 	Tracer  Tracer
@@ -389,6 +417,64 @@ func (m *Metrics) TaggerDocument(elements, bytes int64) {
 	m.Tagger.Documents.Inc()
 	m.Tagger.Elements.Add(elements)
 	m.Tagger.Bytes.Add(bytes)
+}
+
+// PlanCacheHit records a plan request answered from the plan cache.
+func (m *Metrics) PlanCacheHit() {
+	if m == nil {
+		return
+	}
+	m.Cache.PlanHits.Inc()
+}
+
+// PlanCacheMiss records a plan-cache lookup that fell through to planning.
+func (m *Metrics) PlanCacheMiss() {
+	if m == nil {
+		return
+	}
+	m.Cache.PlanMisses.Inc()
+}
+
+// FragmentCacheHit records a materialization served from the fragment
+// cache.
+func (m *Metrics) FragmentCacheHit() {
+	if m == nil {
+		return
+	}
+	m.Cache.FragmentHits.Inc()
+}
+
+// FragmentCacheMiss records a fragment-cache lookup that fell through to a
+// cold run.
+func (m *Metrics) FragmentCacheMiss() {
+	if m == nil {
+		return
+	}
+	m.Cache.FragmentMisses.Inc()
+}
+
+// FragmentCacheEvict records entries evicted for the byte budget.
+func (m *Metrics) FragmentCacheEvict(n int64) {
+	if m == nil {
+		return
+	}
+	m.Cache.FragmentEvictions.Add(n)
+}
+
+// FragmentCacheInvalidate records entries dropped by write invalidation.
+func (m *Metrics) FragmentCacheInvalidate(n int64) {
+	if m == nil {
+		return
+	}
+	m.Cache.FragmentInvalidations.Add(n)
+}
+
+// CacheBytes records the fragment cache's current size.
+func (m *Metrics) CacheBytes(n int64) {
+	if m == nil {
+		return
+	}
+	m.Cache.FragmentBytes.Set(n)
 }
 
 // ClientRequestStart records one logical wire request entering flight.

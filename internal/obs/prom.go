@@ -49,6 +49,14 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	counter("silkroute_tagger_elements_total", "XML elements emitted by the tagger.", m.Tagger.Elements.Value())
 	counter("silkroute_tagger_bytes_total", "XML bytes written by the tagger.", m.Tagger.Bytes.Value())
 
+	counter("silkroute_cache_plan_hits_total", "Plan requests answered from the plan cache.", m.Cache.PlanHits.Value())
+	counter("silkroute_cache_plan_misses_total", "Plan-cache lookups that fell through to planning.", m.Cache.PlanMisses.Value())
+	counter("silkroute_cache_fragment_hits_total", "Materializations served whole from the fragment cache.", m.Cache.FragmentHits.Value())
+	counter("silkroute_cache_fragment_misses_total", "Fragment-cache lookups that fell through to a cold run.", m.Cache.FragmentMisses.Value())
+	counter("silkroute_cache_fragment_evictions_total", "Fragment-cache entries evicted for the byte budget.", m.Cache.FragmentEvictions.Value())
+	counter("silkroute_cache_fragment_invalidations_total", "Fragment-cache entries dropped by write invalidation.", m.Cache.FragmentInvalidations.Value())
+	gauge("silkroute_cache_bytes", "Current fragment-cache size in bytes.", m.Cache.FragmentBytes.Value())
+
 	counter("silkroute_wire_client_requests_total", "Logical wire requests (queries and estimates) submitted.", m.Client.Requests.Value())
 	counter("silkroute_wire_client_dials_total", "Fresh wire connections dialed.", m.Client.Dials.Value())
 	counter("silkroute_wire_client_pool_hits_total", "Wire requests served from the idle-connection pool.", m.Client.PoolHits.Value())

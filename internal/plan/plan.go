@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"silkroute/internal/engine"
 	"silkroute/internal/obs"
+	"silkroute/internal/sqlast"
 	"silkroute/internal/sqlgen"
 	"silkroute/internal/tagger"
 	"silkroute/internal/value"
@@ -54,6 +56,12 @@ type Plan struct {
 	// work — so this is the knob the paper's "multiple result sets open at
 	// once" client implies.
 	Parallelism int
+	// FragmentBoundary, when set, is forwarded to the tagger's OnTopLevel
+	// hook: it fires just before each top-level element opens, with all
+	// earlier bytes already flushed to the output writer. The fragment
+	// cache uses it to split cached documents at exact element boundaries.
+	// Ignored on the unordered path, which has no streaming boundaries.
+	FragmentBoundary func()
 }
 
 // Unified returns the plan keeping every edge: one SQL query.
@@ -110,6 +118,28 @@ func (p *Plan) Streams() ([]*sqlgen.Stream, error) {
 		}
 	}
 	return streams, nil
+}
+
+// BaseTables returns the sorted, lower-cased names of every stored relation
+// the plan's streams read — the dependency set the fragment cache's write
+// invalidation keys on.
+func (p *Plan) BaseTables() ([]string, error) {
+	streams, err := p.Streams()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{})
+	for _, s := range streams {
+		for _, t := range sqlast.BaseTables(s.Query) {
+			seen[t] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // Metrics reports one plan execution's measurements, mirroring the paper's
@@ -321,6 +351,7 @@ func ExecuteDirect(ctx context.Context, db *engine.Database, p *Plan, w io.Write
 
 	tg := tagger.New(p.Tree)
 	tg.Wrapper = p.Wrapper
+	tg.OnTopLevel = p.FragmentBoundary
 	if err := writeDoc(tg, w, inputs, p.Unordered); err != nil {
 		return Metrics{}, err
 	}
@@ -499,6 +530,7 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 	}
 	tg := tagger.New(p.Tree)
 	tg.Wrapper = p.Wrapper
+	tg.OnTopLevel = p.FragmentBoundary
 	if err := writeDoc(tg, w, inputs, p.Unordered); err != nil {
 		return Metrics{}, err
 	}

@@ -1,0 +1,55 @@
+package plancache
+
+import (
+	"testing"
+
+	"silkroute/internal/plan"
+)
+
+func TestGetPutAndEpochPruning(t *testing.T) {
+	c := New()
+	k1 := Key{View: 1, Strategy: "greedy", Epoch: 0}
+	if c.Get(k1) != nil {
+		t.Fatal("empty cache returned an entry")
+	}
+	e1 := &Entry{Plan: &plan.Plan{}, Mandatory: []int{0, 2, 4}, Optional: []int{1}, Requests: 25}
+	c.Put(k1, e1)
+	got := c.Get(k1)
+	if got != e1 {
+		t.Fatalf("Get returned %v, want the stored entry", got)
+	}
+	if len(got.Mandatory) != 3 || len(got.Optional) != 1 || got.Requests != 25 {
+		t.Fatalf("entry telemetry lost: %+v", got)
+	}
+
+	// A newer epoch for the same view+strategy prunes the old entry.
+	k2 := Key{View: 1, Strategy: "greedy", Epoch: 5}
+	c.Put(k2, &Entry{Plan: &plan.Plan{}})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after same-view newer-epoch Put, want 1", c.Len())
+	}
+	if c.Get(k1) != nil {
+		t.Fatal("stale-epoch entry survived pruning")
+	}
+}
+
+func TestDistinctKeysCoexist(t *testing.T) {
+	c := New()
+	c.Put(Key{View: 1, Strategy: "greedy", Epoch: 0}, &Entry{})
+	c.Put(Key{View: 1, Strategy: "outer-union", Epoch: 0}, &Entry{})
+	c.Put(Key{View: 2, Strategy: "greedy", Epoch: 0}, &Entry{})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3: distinct views/strategies must not collide", c.Len())
+	}
+	// Newer epoch for view 1 greedy only prunes that one pair.
+	c.Put(Key{View: 1, Strategy: "greedy", Epoch: 9}, &Entry{})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d after pruning, want 3", c.Len())
+	}
+	if c.Get(Key{View: 1, Strategy: "outer-union", Epoch: 0}) == nil {
+		t.Fatal("other strategy's entry was wrongly pruned")
+	}
+	if c.Get(Key{View: 2, Strategy: "greedy", Epoch: 0}) == nil {
+		t.Fatal("other view's entry was wrongly pruned")
+	}
+}

@@ -7,6 +7,7 @@ package table
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"silkroute/internal/schema"
 	"silkroute/internal/value"
@@ -29,12 +30,26 @@ type Table struct {
 
 	mu    sync.Mutex
 	stats *Stats // lazily computed, invalidated on Insert, guarded by mu
+
+	version atomic.Int64 // write version, bumped by every Insert
+	onWrite func()       // write hook; set via SetWriteHook before sharing
 }
 
 // New creates an empty table for the given relation.
 func New(rel *schema.Relation) *Table {
 	return &Table{Rel: rel}
 }
+
+// Version returns the table's write version: the number of Inserts it has
+// absorbed. Caches key freshness on it — a cached result built at version
+// v is stale the moment Version reports anything else.
+func (t *Table) Version() int64 { return t.version.Load() }
+
+// SetWriteHook installs a function called after every Insert, on the
+// inserting goroutine. The engine uses it to bump its stats epoch and fan
+// out cache invalidations. It must be set before the table is shared —
+// there is no lock around the hook field itself.
+func (t *Table) SetWriteHook(fn func()) { t.onWrite = fn }
 
 // Insert appends a row after arity-checking it against the relation.
 func (t *Table) Insert(row Row) error {
@@ -46,6 +61,10 @@ func (t *Table) Insert(row Row) error {
 	t.mu.Lock()
 	t.stats = nil
 	t.mu.Unlock()
+	t.version.Add(1)
+	if t.onWrite != nil {
+		t.onWrite()
+	}
 	return nil
 }
 

@@ -94,6 +94,11 @@ type Tagger struct {
 	// so the result is a well-formed document even when the view's root
 	// template produces many instances.
 	Wrapper string
+	// OnTopLevel, when set, is called just before each top-level element
+	// (depth 1) opens, after all previously buffered bytes reached the
+	// underlying writer. The fragment cache hooks it to split the output at
+	// exact top-level boundaries; the unordered writer never calls it.
+	OnTopLevel func()
 
 	positions []keyPos
 	posIndex  map[viewtree.VarRef]int // var ref → key position
@@ -196,6 +201,10 @@ func (tg *Tagger) WriteXML(w io.Writer, inputs []Input) error {
 		if d > 1 && len(stack) < d-1 {
 			return fmt.Errorf("tagger: instance of <%s> at depth %d arrived with only %d open ancestors",
 				inst.node.Tag, d, len(stack))
+		}
+		if d == 1 && tg.OnTopLevel != nil {
+			bw.flushBuf()
+			tg.OnTopLevel()
 		}
 		bw.open(inst.node.Tag)
 		for _, c := range inst.node.Contents {

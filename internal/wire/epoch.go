@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"silkroute/internal/obs"
+)
+
+// StatsEpoch asks the server for its database's stats epoch — the write
+// counter the client-side fragment cache validates remote freshness against.
+//
+// Unlike Query and Estimate there is NO retry loop: the probe exists to
+// decide whether cached bytes may be served, and on any failure the only
+// safe answer is "treat it as a miss and run cold" — retrying to rescue a
+// cache shortcut would add latency exactly when the backend is struggling.
+// Callers must map an error to the cold path, never to serving stale data.
+func (c *Client) StatsEpoch(ctx context.Context) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("wire: epoch: %w", ctxSentinel(err))
+	}
+	m := obs.M()
+	m.ClientRequestStart()
+	ctx, span := obs.StartSpan(ctx, "wire.client.epoch")
+	epoch, err := c.epochOnce(ctx)
+	span.End()
+	m.ClientRequestEnd(isDeadline(err))
+	return epoch, err
+}
+
+func (c *Client) epochOnce(ctx context.Context) (int64, error) {
+	if err := c.breakerAllow(); err != nil {
+		return 0, fmt.Errorf("wire: epoch: %w", err)
+	}
+	epoch, err := c.epochAttempt(ctx)
+	c.breakerDone(classifyBreaker(ctx.Err(), err))
+	return epoch, err
+}
+
+func (c *Client) epochAttempt(ctx context.Context) (int64, error) {
+	for {
+		conn, reused, err := c.acquire(ctx)
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return 0, err
+			}
+			return 0, wrapErr(ctx, "dial", err)
+		}
+		epoch, err := c.epochOn(ctx, conn)
+		if err == nil {
+			return epoch, nil
+		}
+		// A reused pooled conn may have died idle; one fresh dial is fair
+		// game before giving up (this is conn replacement, not a retry).
+		if reused && ctx.Err() == nil && transient(err) {
+			continue
+		}
+		return 0, err
+	}
+}
+
+// epochOn runs one epoch exchange on conn, returning it to the pool on any
+// complete response.
+func (c *Client) epochOn(ctx context.Context, conn net.Conn) (int64, error) {
+	conn.SetDeadline(c.requestDeadline(ctx))
+	w := watchCancel(ctx, conn)
+	fail := func(op string, err error) (int64, error) {
+		w.Stop()
+		conn.Close()
+		return 0, wrapErr(ctx, op, err)
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, []byte{'P'}); err != nil {
+		return fail("send epoch", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail("send epoch", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := readFrame(br, nil)
+	if err != nil {
+		return fail("read epoch", err)
+	}
+	if len(resp) == 0 {
+		return fail("read epoch", fmt.Errorf("empty epoch response"))
+	}
+	finish := func() {
+		w.Stop()
+		if ctx.Err() == nil {
+			conn.SetDeadline(time.Time{})
+			c.put(conn)
+		} else {
+			conn.Close()
+		}
+	}
+	switch resp[0] {
+	case 'E':
+		err := decodeError(resp)
+		finish()
+		return 0, err
+	case 'V':
+		if len(resp) != 1+8 {
+			return fail("read epoch", fmt.Errorf("epoch payload has %d bytes", len(resp)))
+		}
+		epoch := int64(binary.BigEndian.Uint64(resp[1:9]))
+		finish()
+		return epoch, nil
+	default:
+		return fail("read epoch", fmt.Errorf("unknown epoch status %q", resp[0]))
+	}
+}

@@ -287,6 +287,8 @@ func (s *Server) ServeConn(conn net.Conn) {
 			span.SetDetail(sqlText)
 			keep = s.serveQuery(sctx, conn, bw, sqlText)
 			span.End()
+		case 'P':
+			keep = s.serveEpoch(bw)
 		default:
 			keep = writeError(bw, CodeBadRequest, "unknown request kind") == nil
 		}
@@ -393,6 +395,18 @@ func (s *Server) serveEstimate(bw *bufio.Writer, sql string) bool {
 	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Cost))
 	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Rows))
 	payload = binary.BigEndian.AppendUint64(payload, math.Float64bits(est.Width))
+	if err := writeFrame(bw, payload); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
+}
+
+// serveEpoch answers a stats-epoch probe ('P'): the client-side fragment
+// cache validates remote freshness with it. One uint64, no SQL, no trace
+// header — the cheapest request the protocol has.
+func (s *Server) serveEpoch(bw *bufio.Writer) bool {
+	payload := []byte{'V'}
+	payload = binary.BigEndian.AppendUint64(payload, uint64(s.DB.StatsEpoch()))
 	if err := writeFrame(bw, payload); err != nil {
 		return false
 	}

@@ -32,6 +32,12 @@
 //	                  for 'E': 'V' + three big-endian float64 values
 //	                  (cost, rows, width), or 'E' + code byte + message
 //
+// A third request kind 'P' (no SQL, no traced variant) probes the server's
+// stats epoch: the response is 'V' + one big-endian uint64 (the database's
+// write counter) or an error frame. The client-side fragment cache sends it
+// to validate cached XML before serving; it is never retried — a failed
+// probe means "run cold", not "serve stale".
+//
 // The error frame's code byte carries a Code, so typed failures
 // (cancellation, deadline, shutdown) survive errors.Is across the network
 // boundary.

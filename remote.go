@@ -3,7 +3,10 @@ package silkroute
 import (
 	"context"
 	"net"
+	"sync"
 
+	"silkroute/internal/fragcache"
+	"silkroute/internal/plancache"
 	"silkroute/internal/rxl"
 	"silkroute/internal/schema"
 	"silkroute/internal/tpch"
@@ -25,6 +28,10 @@ func tpchSchemaForRemote() *schema.Schema { return tpch.Schema() }
 // pool.
 type Remote struct {
 	client *wire.Client
+
+	cacheMu sync.Mutex
+	plans   *plancache.Cache
+	frags   *fragcache.Cache
 }
 
 // ConnectTCP returns a remote database handle for the given address.

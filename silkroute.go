@@ -10,11 +10,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"silkroute/internal/chaos"
 	"silkroute/internal/engine"
+	"silkroute/internal/fragcache"
 	"silkroute/internal/plan"
+	"silkroute/internal/plancache"
 	"silkroute/internal/rxl"
 	"silkroute/internal/schema"
 	"silkroute/internal/sqlgen"
@@ -66,6 +69,10 @@ type config struct {
 	reduceSet   bool
 	parallelism int
 	parSet      bool
+
+	planCache bool
+	fragBytes int64
+	fragSet   bool
 
 	retry            Retry
 	retrySet         bool
@@ -171,7 +178,9 @@ func (c *config) clientOptions() []wire.ClientOption {
 	return out
 }
 
-// apply stamps the view-side options onto a freshly built view.
+// apply stamps the view-side options onto a freshly built view. The caches
+// live on the view's backend (the DB or Remote), so every view sharing a
+// backend shares one cache and one invalidation domain.
 func (c *config) apply(v *View) {
 	if c.wrapperSet {
 		v.Wrapper = c.wrapper
@@ -181,6 +190,20 @@ func (c *config) apply(v *View) {
 	}
 	if c.parSet {
 		v.Parallelism = c.parallelism
+	}
+	if c.planCache {
+		if v.remote != nil {
+			v.plans = v.remote.planCache()
+		} else {
+			v.plans = v.db.planCache()
+		}
+	}
+	if c.fragSet {
+		if v.remote != nil {
+			v.frags = v.remote.fragCache(c.fragBytes)
+		} else {
+			v.frags = v.db.fragCache(c.fragBytes)
+		}
 	}
 }
 
@@ -197,6 +220,10 @@ func buildConfig(opts []Option) *config {
 // planner relies on.
 type DB struct {
 	eng *engine.Database
+
+	cacheMu sync.Mutex
+	plans   *plancache.Cache
+	frags   *fragcache.Cache
 }
 
 // OpenTPCH generates the TPC-H fragment of the paper's Fig. 1 at the given
@@ -496,6 +523,11 @@ type View struct {
 	// Deprecated: pass WithParallelism to ParseView / ParseRemoteView
 	// instead.
 	Parallelism int
+
+	// plans and frags are the backend's shared caches; nil unless the view
+	// was built with WithPlanCache / WithFragmentCache.
+	plans *plancache.Cache
+	frags *fragcache.Cache
 }
 
 // ParseView compiles an RXL view definition against the database's schema.
@@ -551,6 +583,13 @@ type Report struct {
 	GreedyOptional  []int
 	// EstimateRequests is the number of optimizer calls Greedy made.
 	EstimateRequests int64
+	// PlanCached reports that planning was skipped: the plan came from the
+	// plan cache (WithPlanCache) at the current stats epoch.
+	PlanCached bool
+	// FragmentCached reports that the whole document was served from the
+	// fragment cache (WithFragmentCache): no planning, no SQL, no tagging —
+	// Streams is 0 and SQL is empty.
+	FragmentCached bool
 }
 
 // StreamStat is one tuple stream's share of a materialization.
@@ -574,6 +613,9 @@ type StreamStat struct {
 // even mid-stream against a stalled remote server, and the returned error
 // satisfies errors.Is(err, ctx.Err()). Every pooled connection is released.
 func (v *View) Materialize(ctx context.Context, w io.Writer, s Strategy) (*Report, error) {
+	if rep, served, err := v.serveCached(ctx, w, s); served {
+		return rep, err
+	}
 	p, rep, err := v.plan(ctx, s)
 	if err != nil {
 		return nil, err
@@ -584,12 +626,26 @@ func (v *View) Materialize(ctx context.Context, w io.Writer, s Strategy) (*Repor
 // MaterializePlan evaluates the view with an explicit edge bitmask: bit i
 // keeps view-tree edge i. Use EdgeLabels to see the edges. ctx governs the
 // run exactly as in Materialize.
+//
+// Every plan of a view produces the same document, so a warm fragment cache
+// serves bitmask runs too.
 func (v *View) MaterializePlan(ctx context.Context, w io.Writer, keepBits uint64) (*Report, error) {
+	if rep, served, err := v.serveCached(ctx, w, Unified); served {
+		return rep, err
+	}
 	p := plan.FromBits(v.tree, keepBits, v.Reduce)
 	return v.execute(ctx, w, p, &Report{Strategy: Unified})
 }
 
+// plan resolves the strategy to a concrete plan, through the plan cache
+// when the view has one.
 func (v *View) plan(ctx context.Context, s Strategy) (*plan.Plan, *Report, error) {
+	return v.cachedPlan(ctx, s)
+}
+
+// planCold runs actual plan selection; for Greedy that is the §5 search
+// with its estimate requests.
+func (v *View) planCold(ctx context.Context, s Strategy) (*plan.Plan, *Report, error) {
 	rep := &Report{Strategy: s}
 	caps := v.tree.Schema.Supports
 	checked := func(p *plan.Plan) (*plan.Plan, *Report, error) {
@@ -649,6 +705,11 @@ func (v *View) plan(ctx context.Context, s Strategy) (*plan.Plan, *Report, error
 }
 
 func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Report) (*Report, error) {
+	// Plans can come from the shared plan cache, and execution stamps
+	// per-run state (wrapper, parallelism, fragment hook) onto the plan —
+	// work on a copy so concurrent runs never race on a cached plan.
+	clone := *p
+	p = &clone
 	streams, err := p.Streams()
 	if err != nil {
 		return nil, err
@@ -658,14 +719,41 @@ func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Repo
 	}
 	p.Wrapper = v.Wrapper
 	p.Parallelism = v.Parallelism
+
+	// Tee the output into fragment buffers when a fragment cache is on.
+	// The stamp is snapshotted BEFORE the queries run and revalidated at
+	// commit: a write racing the materialization discards the fill rather
+	// than caching bytes of uncertain vintage.
+	out := w
+	var rec *fragcache.Recorder
+	var recTables []string
+	var recStamp fragcache.Stamp
+	if v.frags != nil && !p.Unordered {
+		if tables, terr := p.BaseTables(); terr == nil {
+			if stamp, ok := v.currentStamp(ctx, tables); ok {
+				rec = fragcache.NewRecorder(w)
+				recTables, recStamp = tables, stamp
+				p.FragmentBoundary = rec.Boundary
+				out = rec
+			}
+		}
+	}
+
 	var m plan.Metrics
 	if v.remote != nil {
-		m, err = plan.ExecuteWire(ctx, v.remote.client, p, w)
+		m, err = plan.ExecuteWire(ctx, v.remote.client, p, out)
 	} else {
-		m, err = plan.ExecuteDirect(ctx, v.db.eng, p, w)
+		m, err = plan.ExecuteDirect(ctx, v.db.eng, p, out)
 	}
 	if err != nil {
+		// Fail-closed: a failed (or killed, resumed-then-lost, cancelled)
+		// run caches nothing; rec is dropped with its partial fragments.
 		return nil, err
+	}
+	if rec != nil {
+		if cur, ok := v.currentStamp(ctx, recTables); ok && recStamp.Fresh(cur) {
+			v.frags.Put(v.fingerprint(), rec.Fragments(), recTables, recStamp)
+		}
 	}
 	rep.Streams = m.Streams
 	rep.QueryTime = m.QueryTime
