@@ -2,7 +2,7 @@ GO ?= go
 # Pinned so CI and laptops run the same checker; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet staticcheck test test-race chaos cache-check bench-smoke bench-json ci experiments
+.PHONY: all build vet staticcheck test test-race chaos replica-chaos cache-check bench-smoke bench-json ci experiments
 
 all: build
 
@@ -44,6 +44,15 @@ chaos:
 		-run 'Chaos|Resume|Breaker|StreamLost|PoolSurvives|Backoff|Jitter' \
 		. ./internal/wire/ ./internal/plan/ ./internal/sqlgen/
 
+# The replication suite under the race detector: balancer picks, mid-stream
+# cross-replica failover with byte-exact splices, hedged opens, the
+# half-open probe race, per-replica chaos specs, and the 1/2/3-replica ×
+# chaos-seed equivalence matrix with one replica hard-killed mid-run.
+replica-chaos:
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race -count=1 \
+		-run 'Replica|Failover|NoHealthy|HalfOpen|Hedge|FailsClosed|ProbeFailure|MultiSpec|SpecString' \
+		. ./internal/wire/ ./internal/chaos/
+
 # The caching layer's correctness gate under the race detector: cached and
 # uncached materializations must be byte-identical across every strategy
 # family, base-table writes must always invalidate, a killed run must never
@@ -61,23 +70,23 @@ bench-smoke:
 		status=$$?; cat bench-smoke.txt; exit $$status
 
 # The core benchmarks (cache speedup, parallel execution, hash join, tagger
-# memory, wire transfer) in machine-readable form: one pass each, three
-# samples, parsed by cmd/benchjson into BENCH_6.json — committed at the
-# repo root and archived by CI so later PRs can diff ns/op, B/op, and
-# allocs/op without scraping logs.
+# memory, wire transfer, replica failover) in machine-readable form: one
+# pass each, three samples, parsed by cmd/benchjson into BENCH_7.json —
+# committed at the repo root and archived by CI so later PRs can diff
+# ns/op, B/op, and allocs/op without scraping logs.
 bench-json:
 	@$(GO) test $(GOFLAGS) -run '^$$' \
-		-bench 'MaterializeCached|TaggerConstantSpace|WireTransfer' \
+		-bench 'MaterializeCached|TaggerConstantSpace|WireTransfer|ReplicaFailover' \
 		-benchtime 1x -count 3 . > bench-raw.txt 2>&1 && \
 	$(GO) test $(GOFLAGS) -run '^$$' -bench ParallelExecute -benchtime 1x -count 3 \
 		./internal/plan >> bench-raw.txt 2>&1 && \
 	$(GO) test $(GOFLAGS) -run '^$$' -bench HashJoin -benchtime 1x -count 3 \
 		./internal/sqlexec >> bench-raw.txt 2>&1; \
 	status=$$?; cat bench-raw.txt; \
-	if [ $$status -eq 0 ]; then $(GO) run ./cmd/benchjson -o BENCH_6.json bench-raw.txt; fi; \
+	if [ $$status -eq 0 ]; then $(GO) run ./cmd/benchjson -o BENCH_7.json bench-raw.txt; fi; \
 	rm -f bench-raw.txt; exit $$status
 
-ci: vet staticcheck build test-race chaos cache-check bench-smoke bench-json
+ci: vet staticcheck build test-race chaos replica-chaos cache-check bench-smoke bench-json
 
 experiments:
 	$(GO) run ./cmd/experiments

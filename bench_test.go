@@ -9,13 +9,19 @@ package silkroute
 // verdict: who wins and by what factor.
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"io"
+	"net"
 	"testing"
+	"time"
 
 	"silkroute/internal/engine"
 	"silkroute/internal/plan"
 	"silkroute/internal/rxl"
 	"silkroute/internal/tpch"
+	"silkroute/internal/value"
 	"silkroute/internal/viewtree"
 	"silkroute/internal/wire"
 )
@@ -289,6 +295,78 @@ func BenchmarkWireTransfer(b *testing.B) {
 			}
 		}
 		b.SetBytes(rows.BytesRead)
+	}
+}
+
+// BenchmarkReplicaFailover measures the cross-replica failover path end to
+// end: every iteration opens a sorted stream on a replica that kills it
+// (and every same-replica continuation) after 100 rows, burns its one
+// same-replica resume, then fails over to the healthy replica and finishes
+// the stream there — the degradation ladder's full middle rung.
+func BenchmarkReplicaFailover(b *testing.B) {
+	db := tpch.Generate(benchScaleA, 42)
+	const sql = "select o.orderkey, o.custkey from Orders o order by o.orderkey"
+	spec := &wire.ResumeSpec{
+		KeyCols: []int{0},
+		Rewrite: func(key []value.Value) (string, error) {
+			if key == nil {
+				return sql, nil
+			}
+			return fmt.Sprintf(
+				"select o.orderkey, o.custkey from Orders o where o.orderkey >= %d order by o.orderkey",
+				key[0].AsInt()), nil
+		},
+	}
+	errKill := errors.New("injected kill")
+	deadSrv := &wire.Server{DB: db, RowFault: func(string) func(int64) error {
+		return func(i int64) error {
+			if i >= 100 {
+				return errKill
+			}
+			return nil
+		}
+	}}
+	liveSrv := &wire.Server{DB: db}
+	pipeDialer := func(srv *wire.Server) func(context.Context) (net.Conn, error) {
+		return func(context.Context) (net.Conn, error) {
+			c1, c2 := net.Pipe()
+			go srv.ServeConn(c2)
+			return c1, nil
+		}
+	}
+	copts := []wire.ClientOption{
+		wire.WithResume(wire.Resume{MaxResumes: 1}),
+		wire.WithRetry(wire.Retry{BaseDelay: time.Millisecond}),
+	}
+	dead := wire.NewClient(pipeDialer(deadSrv), copts...)
+	live := wire.NewClient(pipeDialer(liveSrv), copts...)
+	defer dead.Close()
+	defer live.Close()
+
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fresh set resets the round-robin cursor, so the stream always
+		// opens on the dead replica; the clients (and their pools) persist.
+		set := wire.NewReplicaSet([]*wire.Client{dead, live})
+		rows, err := set.QueryResumable(ctx, sql, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := rows.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if rows.Failovers == 0 {
+			b.Fatal("no failover exercised")
+		}
+		if n == 0 {
+			b.Fatal("no rows transferred")
+		}
 	}
 }
 

@@ -127,7 +127,13 @@ func (v *View) fingerprint() uint64 {
 func (v *View) statsEpoch(ctx context.Context) (int64, bool) {
 	if v.remote != nil {
 		e, err := v.remote.client.StatsEpoch(ctx)
-		return e, err == nil
+		if err != nil {
+			// Cold runs forced by a failed probe are a distinct signal from
+			// ordinary misses: the caches are degraded, not merely cold.
+			obs.M().FragmentProbeFailure()
+			return 0, false
+		}
+		return e, true
 	}
 	return v.db.eng.StatsEpoch(), true
 }
@@ -138,6 +144,7 @@ func (v *View) currentStamp(ctx context.Context, tables []string) (fragcache.Sta
 	if v.remote != nil {
 		e, err := v.remote.client.StatsEpoch(ctx)
 		if err != nil {
+			obs.M().FragmentProbeFailure()
 			return fragcache.Stamp{}, false
 		}
 		return fragcache.Stamp{Epoch: e}, true

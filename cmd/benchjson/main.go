@@ -1,6 +1,6 @@
 // Command benchjson converts `go test -bench` text output into a stable
 // machine-readable JSON document, so CI can archive benchmark runs (see
-// `make bench-json`, which commits the result as BENCH_6.json) and later
+// `make bench-json`, which commits the result as BENCH_7.json) and later
 // PRs can diff ns/op, B/op, and allocs/op without scraping logs.
 //
 // Usage:

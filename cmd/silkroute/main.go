@@ -26,6 +26,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"silkroute"
@@ -47,6 +48,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort materialization after this long (0 = no limit)")
 	serve := flag.String("serve", "", "run as a database server on this address instead of materializing")
 	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses, e.g. a:7070,b:7070,c:7070 (balanced, failover with -resume)")
+	failover := flag.Int("failover", 0, "cross-replica failovers per stream after resume gives up (0 = replicas-1 default)")
+	hedge := flag.Duration("hedge", 0, "race a second replica when the first has not answered within this delay (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (enables observability)")
 	chaosSpec := flag.String("chaos", "", "inject faults, e.g. \"seed=7,cutrow=100\" (server: kill streams; client: wrap the dialer)")
 	resume := flag.Int("resume", 0, "resume a died tuple stream mid-flight up to N times (remote only; 0 = fail on stream loss)")
@@ -115,9 +119,23 @@ func main() {
 	if *fragCache != 0 {
 		opts = append(opts, silkroute.WithFragmentCache(*fragCache))
 	}
+	if *failover > 0 {
+		opts = append(opts, silkroute.WithFailover(*failover))
+	}
+	if *hedge > 0 {
+		opts = append(opts, silkroute.WithHedge(*hedge))
+	}
 
 	var view *silkroute.View
-	if *connect != "" {
+	if *replicas != "" {
+		// Replicated middleware mode: N -serve endpoints of the same data,
+		// health-balanced per stream, with cross-replica failover when
+		// -resume is on.
+		addrs := strings.Split(*replicas, ",")
+		remote := silkroute.ConnectReplicas(addrs, opts...)
+		defer remote.Close()
+		view, err = silkroute.ParseRemoteView(remote, silkroute.TPCHSourceDescription(), src, opts...)
+	} else if *connect != "" {
 		// Remote middleware mode: the TPC-H schema is the local source
 		// description; data and optimizer live on the server.
 		var remote *silkroute.Remote
@@ -198,6 +216,12 @@ func main() {
 			}
 			if st.Restarts > 0 {
 				fmt.Fprintf(os.Stderr, " restarts=%d", st.Restarts)
+			}
+			if st.Failovers > 0 {
+				fmt.Fprintf(os.Stderr, " failovers=%d", st.Failovers)
+			}
+			if *replicas != "" {
+				fmt.Fprintf(os.Stderr, " replica=%d", st.Replica)
 			}
 			fmt.Fprintln(os.Stderr)
 		}

@@ -114,6 +114,100 @@ func ParseSpec(s string) (Spec, error) {
 	return sp, nil
 }
 
+// String renders the spec back into ParseSpec's key=value form, omitting
+// zero fields; a zero Spec renders as "". ParseSpec(sp.String()) == sp,
+// which lets per-replica specs built by ParseMultiSpec travel through
+// string-typed plumbing like DB.ServeChaosContext.
+func (sp Spec) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if sp.Seed != 0 {
+		add("seed", strconv.FormatInt(sp.Seed, 10))
+	}
+	if sp.RefuseDialEvery != 0 {
+		add("refusedial", strconv.Itoa(sp.RefuseDialEvery))
+	}
+	if sp.CutReadAfter != 0 {
+		add("cutread", strconv.FormatInt(sp.CutReadAfter, 10))
+	}
+	if sp.CutWriteAfter != 0 {
+		add("cutwrite", strconv.FormatInt(sp.CutWriteAfter, 10))
+	}
+	if sp.MaxWriteChunk != 0 {
+		add("maxwrite", strconv.Itoa(sp.MaxWriteChunk))
+	}
+	if sp.Latency != 0 {
+		add("latency", sp.Latency.String())
+	}
+	if sp.LatencyEvery != 0 {
+		add("latencyevery", strconv.Itoa(sp.LatencyEvery))
+	}
+	if sp.CutRowAt != 0 {
+		add("cutrow", strconv.FormatInt(sp.CutRowAt, 10))
+	}
+	if sp.CutRowMax != 0 {
+		add("cutrowmax", strconv.FormatInt(sp.CutRowMax, 10))
+	}
+	if sp.KillTimes != 0 {
+		add("kills", strconv.Itoa(sp.KillTimes))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseMultiSpec parses per-replica fault specs for an n-replica
+// deployment: semicolon-separated segments, each either "i:spec" (the
+// spec applies to replica i only, 0-based) or a bare spec that becomes
+// the default for every replica without its own segment. Later segments
+// for the same replica override earlier ones. An empty segment — or an
+// empty string — means no faults.
+//
+//	"cutrow=5"                      every replica cuts at row 5
+//	"0:cutrowmax=10,kills=100"      replica 0 is kill-happy, others clean
+//	"latency=1ms;2:cutrow=3"        all replicas slow, replica 2 also cut
+func ParseMultiSpec(s string, n int) ([]Spec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("chaos: multi spec needs n > 0 replicas, got %d", n)
+	}
+	specs := make([]Spec, n)
+	var def Spec
+	own := make([]bool, n)
+	for _, seg := range strings.Split(s, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		// An "i:" prefix targets one replica. The colon cannot be confused
+		// with spec content: keys and values never contain one (durations
+		// like "2ms" don't either).
+		if head, rest, ok := strings.Cut(seg, ":"); ok {
+			i, err := strconv.Atoi(strings.TrimSpace(head))
+			if err != nil {
+				return nil, fmt.Errorf("chaos: multi spec segment %q: bad replica index: %v", seg, err)
+			}
+			if i < 0 || i >= n {
+				return nil, fmt.Errorf("chaos: multi spec segment %q: replica %d out of range [0,%d)", seg, i, n)
+			}
+			sp, err := ParseSpec(rest)
+			if err != nil {
+				return nil, err
+			}
+			specs[i], own[i] = sp, true
+			continue
+		}
+		sp, err := ParseSpec(seg)
+		if err != nil {
+			return nil, err
+		}
+		def = sp
+	}
+	for i := range specs {
+		if !own[i] {
+			specs[i] = def
+		}
+	}
+	return specs, nil
+}
+
 // Injector applies one Spec. It is safe for concurrent use; one Injector
 // may wrap any number of dialers, listeners, and servers.
 type Injector struct {

@@ -168,3 +168,81 @@ func TestLatencyEvery(t *testing.T) {
 		t.Errorf("read returned after %v, want >= 20ms of injected latency", d)
 	}
 }
+
+func TestSpecStringRoundTrips(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Seed: 7, CutRowMax: 10, KillTimes: 1000000},
+		{RefuseDialEvery: 3, CutReadAfter: 512, CutWriteAfter: 1024, MaxWriteChunk: 7},
+		{Latency: 2 * time.Millisecond, LatencyEvery: 10, CutRowAt: 100},
+	}
+	for _, sp := range specs {
+		got, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", sp.String(), err)
+		}
+		if got != sp {
+			t.Errorf("round trip %q: got %+v, want %+v", sp.String(), got, sp)
+		}
+	}
+	if s := (Spec{}).String(); s != "" {
+		t.Errorf("zero Spec renders as %q, want empty", s)
+	}
+}
+
+func TestParseMultiSpec(t *testing.T) {
+	// Bare segment is the default; "i:" segments override per replica.
+	specs, err := ParseMultiSpec("latency=1ms,latencyevery=5;0:cutrowmax=10,kills=100;2:cutrow=3", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Spec{
+		{CutRowMax: 10, KillTimes: 100},
+		{Latency: time.Millisecond, LatencyEvery: 5},
+		{CutRowAt: 3},
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("replica %d: got %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+
+	// Later segments for the same replica win.
+	specs, err = ParseMultiSpec("1:cutrow=5;1:cutrow=9", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[1].CutRowAt != 9 {
+		t.Errorf("override: got cutrow=%d, want 9", specs[1].CutRowAt)
+	}
+	if specs[0] != (Spec{}) {
+		t.Errorf("replica 0 without a segment and no default: got %+v, want zero", specs[0])
+	}
+
+	// Empty string: no faults anywhere.
+	specs, err = ParseMultiSpec("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sp := range specs {
+		if sp != (Spec{}) {
+			t.Errorf("empty multi spec, replica %d: got %+v, want zero", i, sp)
+		}
+	}
+
+	// Errors: out-of-range index, bad index, bad spec body, n <= 0.
+	for _, bad := range []struct {
+		s string
+		n int
+	}{
+		{"3:cutrow=1", 3},
+		{"-1:cutrow=1", 2},
+		{"x:cutrow=1", 2},
+		{"0:bogus=1", 2},
+		{"cutrow=1", 0},
+	} {
+		if _, err := ParseMultiSpec(bad.s, bad.n); err == nil {
+			t.Errorf("ParseMultiSpec(%q, %d) succeeded, want error", bad.s, bad.n)
+		}
+	}
+}

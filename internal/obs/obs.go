@@ -247,6 +247,22 @@ type ClientMetrics struct {
 	// BreakerState is the current breaker state: 0 closed, 1 half-open,
 	// 2 open.
 	BreakerState Gauge
+	// Failovers counts cross-replica failover attempts: a stream whose
+	// same-replica resume budget ran out had its frontier suffix re-issued
+	// on a different replica.
+	Failovers Counter
+	// Hedges counts hedged opens: the primary replica had not answered
+	// within the hedge delay, so a second replica was raced.
+	Hedges Counter
+	// NoHealthyReplica counts balancer picks that failed closed because
+	// every replica was open-circuit.
+	NoHealthyReplica Counter
+	// Replicas is the configured replica count of the most recent
+	// ReplicaSet (0 when running single-backend).
+	Replicas Gauge
+	// ReplicasHealthy is how many replicas the balancer currently
+	// considers usable (breaker closed or probing).
+	ReplicasHealthy Gauge
 }
 
 // CacheMetrics covers the middleware's two-level cache: the plan cache
@@ -274,6 +290,10 @@ type CacheMetrics struct {
 	// FragmentBytes is the fragment cache's current size in bytes (the
 	// cache_bytes gauge).
 	FragmentBytes Gauge
+	// ProbeFailures counts remote stats-epoch probes that failed, forcing
+	// a cold run. Without this counter a degraded remote revalidation path
+	// is indistinguishable from an ordinary cache miss.
+	ProbeFailures Counter
 }
 
 // ServerMetrics covers the wire server.
@@ -469,6 +489,15 @@ func (m *Metrics) FragmentCacheInvalidate(n int64) {
 	m.Cache.FragmentInvalidations.Add(n)
 }
 
+// FragmentProbeFailure records a remote stats-epoch probe that failed,
+// forcing the caches onto the cold path.
+func (m *Metrics) FragmentProbeFailure() {
+	if m == nil {
+		return
+	}
+	m.Cache.ProbeFailures.Inc()
+}
+
 // CacheBytes records the fragment cache's current size.
 func (m *Metrics) CacheBytes(n int64) {
 	if m == nil {
@@ -562,6 +591,42 @@ func (m *Metrics) ClientBreakerState(s int64) {
 		return
 	}
 	m.Client.BreakerState.Set(s)
+}
+
+// ClientFailover records one cross-replica failover attempt.
+func (m *Metrics) ClientFailover() {
+	if m == nil {
+		return
+	}
+	m.Client.Failovers.Inc()
+}
+
+// ClientHedge records one hedged open (a second replica raced against a
+// slow primary).
+func (m *Metrics) ClientHedge() {
+	if m == nil {
+		return
+	}
+	m.Client.Hedges.Inc()
+}
+
+// ClientNoHealthyReplica records a balancer pick that failed closed
+// because every replica was open-circuit.
+func (m *Metrics) ClientNoHealthyReplica() {
+	if m == nil {
+		return
+	}
+	m.Client.NoHealthyReplica.Inc()
+}
+
+// ReplicaHealth records the balancer's current view of the replica set:
+// how many replicas are configured and how many are usable.
+func (m *Metrics) ReplicaHealth(healthy, total int64) {
+	if m == nil {
+		return
+	}
+	m.Client.ReplicasHealthy.Set(healthy)
+	m.Client.Replicas.Set(total)
 }
 
 // ServerRequestStart records a wire request starting on the server.

@@ -55,6 +55,7 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	counter("silkroute_cache_fragment_misses_total", "Fragment-cache lookups that fell through to a cold run.", m.Cache.FragmentMisses.Value())
 	counter("silkroute_cache_fragment_evictions_total", "Fragment-cache entries evicted for the byte budget.", m.Cache.FragmentEvictions.Value())
 	counter("silkroute_cache_fragment_invalidations_total", "Fragment-cache entries dropped by write invalidation.", m.Cache.FragmentInvalidations.Value())
+	counter("silkroute_cache_fragment_probe_failures_total", "Remote stats-epoch probes that failed, forcing a cold run.", m.Cache.ProbeFailures.Value())
 	gauge("silkroute_cache_bytes", "Current fragment-cache size in bytes.", m.Cache.FragmentBytes.Value())
 
 	counter("silkroute_wire_client_requests_total", "Logical wire requests (queries and estimates) submitted.", m.Client.Requests.Value())
@@ -68,6 +69,11 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	counter("silkroute_wire_client_breaker_opens_total", "Circuit-breaker open transitions.", m.Client.BreakerOpens.Value())
 	gauge("silkroute_wire_client_breaker_state", "Circuit-breaker state: 0 closed, 1 half-open, 2 open.", m.Client.BreakerState.Value())
 	gauge("silkroute_wire_client_inflight", "Wire requests currently outstanding.", m.Client.InFlight.Value())
+	counter("silkroute_wire_client_failovers_total", "Cross-replica failover attempts for live streams.", m.Client.Failovers.Value())
+	counter("silkroute_wire_client_hedges_total", "Hedged opens raced against a slow primary replica.", m.Client.Hedges.Value())
+	counter("silkroute_wire_client_no_healthy_replica_total", "Balancer picks that failed closed with every replica open-circuit.", m.Client.NoHealthyReplica.Value())
+	gauge("silkroute_wire_replicas", "Configured replica count of the active replica set.", m.Client.Replicas.Value())
+	gauge("silkroute_wire_replicas_healthy", "Replicas the balancer currently considers usable.", m.Client.ReplicasHealthy.Value())
 
 	counter("silkroute_wire_server_requests_total", "Wire requests served.", m.Server.Requests.Value())
 	counter("silkroute_wire_server_rows_sent_total", "Result rows streamed to wire clients.", m.Server.RowsSent.Value())

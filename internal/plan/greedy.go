@@ -29,7 +29,7 @@ type Oracle interface {
 // RemoteOracle adapts a wire client into an Oracle, sending each candidate
 // query's SQL to the remote optimizer.
 type RemoteOracle struct {
-	Client *wire.Client
+	Client wire.Backend
 }
 
 // EstimateQuery implements Oracle over the wire protocol.

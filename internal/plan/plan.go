@@ -192,6 +192,13 @@ type StreamMetrics struct {
 	// this stream from the top and fast-forwards past the delivered
 	// prefix.
 	Restarts int
+	// Failovers counts cross-replica failovers: the stream's frontier
+	// suffix was re-issued on a different replica after same-replica
+	// resume gave up (replica-set execution only; always zero otherwise).
+	Failovers int
+	// Replica is the index of the replica that finished serving the
+	// stream within the replica set (0 for single-backend execution).
+	Replica int
 }
 
 // StreamSpec is one tuple stream's resume contract: its SQL text, the
@@ -381,7 +388,7 @@ func writeDoc(tg *tagger.Tagger, w io.Writer, inputs []tagger.Input, unordered b
 // document.
 type wireSource struct {
 	ctx    context.Context
-	client *wire.Client
+	client wire.Backend
 	sql    string
 	spec   *wire.ResumeSpec
 	rows   *wire.Rows
@@ -394,6 +401,7 @@ type wireSource struct {
 	// metrics fold these with the live stream's counters.
 	prevRows, prevBytes int64
 	prevResumes         int
+	prevFailovers       int
 	restarts            int
 }
 
@@ -428,6 +436,7 @@ func (s *wireSource) restart() error {
 	s.prevRows += s.rows.RowCount
 	s.prevBytes += s.rows.BytesRead
 	s.prevResumes += s.rows.Resumes
+	s.prevFailovers += s.rows.Failovers
 	s.rows.Close()
 	nr, err := s.client.QueryResumable(s.ctx, s.sql, s.spec)
 	if err != nil {
@@ -453,7 +462,7 @@ func (s *wireSource) restart() error {
 // even one stalled on the network — releases every connection back to the
 // client (abandoned streams are closed, not pooled), and returns an error
 // satisfying errors.Is(err, ctx.Err()).
-func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer) (Metrics, error) {
+func ExecuteWire(ctx context.Context, client wire.Backend, p *Plan, w io.Writer) (Metrics, error) {
 	streams, err := p.Streams()
 	if err != nil {
 		return Metrics{}, err
@@ -544,6 +553,8 @@ func ExecuteWire(ctx context.Context, client *wire.Client, p *Plan, w io.Writer)
 		m.PerStream[i].Bytes = bytes
 		m.PerStream[i].Resumes = s.prevResumes + s.rows.Resumes
 		m.PerStream[i].Restarts = s.restarts
+		m.PerStream[i].Failovers = s.prevFailovers + s.rows.Failovers
+		m.PerStream[i].Replica = s.rows.Replica
 		if w := s.wall; w > 0 {
 			m.PerStream[i].WallTime = w
 		} else {

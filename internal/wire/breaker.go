@@ -92,6 +92,29 @@ func (c *Client) breakerAllow() error {
 	}
 }
 
+// availability classifies the client for replica balancing without
+// mutating breaker state: 0 = healthy (breaker closed or disabled),
+// 1 = probing (half-open, or open with the cooldown elapsed — one request
+// may be admitted), 2 = open and cooling (a request would fail fast).
+func (c *Client) availability() int {
+	if c.breaker.Threshold <= 0 {
+		return 0
+	}
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
+	switch c.brState {
+	case breakerOpen:
+		if time.Since(c.brOpenedAt) < c.cooldown() {
+			return 2
+		}
+		return 1
+	case breakerHalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // breakerDone records the outcome of a guarded operation admitted by
 // breakerAllow.
 func (c *Client) breakerDone(outcome breakerOutcome) {

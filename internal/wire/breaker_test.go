@@ -154,3 +154,58 @@ func TestJitterBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestBreakerHalfOpenAdmitsExactlyOneProbe races many goroutines against
+// one half-open breaker: exactly one must win the probe token, everyone
+// else must fail fast with ErrCircuitOpen. Run under -race, this also
+// proves the token handoff itself is data-race free.
+func TestBreakerHalfOpenAdmitsExactlyOneProbe(t *testing.T) {
+	c := NewClient(func(context.Context) (net.Conn, error) {
+		return nil, errors.New("refused")
+	}, WithBreaker(Breaker{Threshold: 1, Cooldown: time.Minute}))
+	defer c.Close()
+
+	c.brMu.Lock()
+	c.setBreakerState(breakerHalfOpen)
+	c.brMu.Unlock()
+
+	const racers = 64
+	var admitted, rejected atomic.Int64
+	start := make(chan struct{})
+	done := make(chan struct{}, racers)
+	for i := 0; i < racers; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			<-start
+			switch err := c.breakerAllow(); {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrCircuitOpen):
+				rejected.Add(1)
+			default:
+				t.Errorf("breakerAllow = %v, want nil or ErrCircuitOpen", err)
+			}
+		}()
+	}
+	close(start)
+	for i := 0; i < racers; i++ {
+		<-done
+	}
+	if admitted.Load() != 1 {
+		t.Fatalf("half-open breaker admitted %d probes, want exactly 1", admitted.Load())
+	}
+	if rejected.Load() != racers-1 {
+		t.Fatalf("rejected = %d, want %d", rejected.Load(), racers-1)
+	}
+
+	// The winner's outcome decides for everyone: a neutral end returns the
+	// token, so the next caller may probe again.
+	c.breakerDone(breakerNeutral)
+	if err := c.breakerAllow(); err != nil {
+		t.Fatalf("probe token not returned after neutral outcome: %v", err)
+	}
+	c.breakerDone(breakerFailure)
+	if err := c.breakerAllow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed probe must re-open the breaker, got %v", err)
+	}
+}

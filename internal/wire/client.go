@@ -356,6 +356,14 @@ type Rows struct {
 	// transport failure (0 = the stream ran uninterrupted). Only streams
 	// opened with QueryResumable on a WithResume client ever resume.
 	Resumes int
+	// Failovers is how many times the stream's frontier suffix was
+	// re-issued on a different replica after same-replica resume gave up
+	// (0 = the stream never left its first replica). Only streams opened
+	// through a ReplicaSet ever fail over.
+	Failovers int
+	// Replica is the index of the replica currently serving the stream
+	// within its ReplicaSet; 0 for single-client streams.
+	Replica int
 
 	ctx      context.Context
 	client   *Client
@@ -372,6 +380,12 @@ type Rows struct {
 	budget  int           // remaining resume attempts
 	lastKey []value.Value // sort key of the last delivered row
 	ties    int64         // delivered rows carrying exactly lastKey
+
+	// Replica state (see replica.go). set == nil means the stream was
+	// opened on a bare Client and never fails over.
+	set         *ReplicaSet
+	foBudget    int                // remaining cross-replica failovers
+	hedgeCancel context.CancelFunc // retires a hedged open's private context
 }
 
 // Query submits sql and returns the stream positioned before the first row.
@@ -569,7 +583,8 @@ func (r *Rows) Next() ([]value.Value, error) {
 
 // release retires the stream's connection exactly once: back to the pool
 // after a cleanly terminated stream, closed otherwise (an abandoned stream
-// has unread frames in flight and cannot be reused).
+// has unread frames in flight and cannot be reused). Replica-set streams
+// also surrender their in-flight slot here.
 func (r *Rows) release(reusable bool) {
 	if r.released {
 		return
@@ -580,9 +595,15 @@ func (r *Rows) release(reusable bool) {
 	if reusable && r.ctx.Err() == nil {
 		r.conn.SetDeadline(time.Time{})
 		r.client.put(r.conn)
-		return
+	} else {
+		r.conn.Close()
 	}
-	r.conn.Close()
+	if r.set != nil {
+		r.set.reps[r.Replica].inFlight.Add(-1)
+	}
+	if r.hedgeCancel != nil {
+		r.hedgeCancel()
+	}
 }
 
 // Close releases the stream's connection. It is idempotent, so plan

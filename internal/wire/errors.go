@@ -105,6 +105,11 @@ var (
 	// immediately would defeat the breaker — so the retry loop gives up at
 	// once.
 	ErrCircuitOpen = errors.New("wire: circuit breaker open")
+	// ErrNoHealthyReplica reports a replica-set request refused fast
+	// because every replica's circuit breaker is open and cooling: no
+	// endpoint is currently worth a network round trip. The set fails
+	// closed — callers get this typed error instead of a partial document.
+	ErrNoHealthyReplica = errors.New("wire: no healthy replica")
 	// ErrStreamLost reports a tuple stream that died mid-flight — after the
 	// column header, before the terminator — and could not be resumed: the
 	// rows already delivered cannot be trusted to be the whole result, and

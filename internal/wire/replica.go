@@ -1,0 +1,428 @@
+package wire
+
+// Replica sets. The paper's middleware assumes one always-healthy RDBMS;
+// this file lets it run against N replicas of the same database. Each
+// replica keeps its own Client — pool, retry policy, circuit breaker,
+// stale-conn eviction — and a balancer assigns every stream (and estimate)
+// to one replica at execution time: round-robin for spread, least
+// in-flight to avoid pile-ups, weighted by breaker state and a recent
+// error/latency EWMA so a sick replica drains traffic before its breaker
+// even opens.
+//
+// Because every SilkRoute stream is sorted by its structural key, a stream
+// whose home replica dies mid-flight has a well-defined frontier and its
+// suffix can be re-fetched from any other healthy replica byte-for-byte
+// (see resume.go): same-replica resume first, then cross-replica failover.
+// When every breaker is open the set fails closed with ErrNoHealthyReplica
+// rather than emitting a partial document.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"silkroute/internal/engine"
+	"silkroute/internal/obs"
+)
+
+// Backend is anything that can execute wire requests for the plan layer: a
+// single Client or a ReplicaSet. Plan executors and the facade hold this
+// interface so a one-replica deployment pays no extra machinery.
+type Backend interface {
+	// Query submits sql and returns the stream positioned before the
+	// first row.
+	Query(ctx context.Context, sql string) (*Rows, error)
+	// QueryResumable is Query with mid-stream recovery armed (see
+	// Client.QueryResumable).
+	QueryResumable(ctx context.Context, sql string, spec *ResumeSpec) (*Rows, error)
+	// Estimate asks the remote optimizer for a query's cost estimate.
+	Estimate(ctx context.Context, sql string) (engine.Estimate, error)
+	// StatsEpoch probes the remote statistics epoch (see epoch.go).
+	StatsEpoch(ctx context.Context) (int64, error)
+	// MaxResumes reports the per-stream resume budget; zero disables
+	// resume.
+	MaxResumes() int
+	// IdleConns reports pooled idle connections (summed over replicas).
+	IdleConns() int
+	// Close releases every pooled connection.
+	Close() error
+}
+
+// Compile-time proof that both endpoint flavors satisfy Backend.
+var (
+	_ Backend = (*Client)(nil)
+	_ Backend = (*ReplicaSet)(nil)
+)
+
+// replicaState is one replica's balancing state: its client plus the
+// signals the balancer weighs — in-flight streams, and error/latency
+// EWMAs updated at every open, estimate, and failover.
+type replicaState struct {
+	client *Client
+	name   string
+
+	inFlight atomic.Int64
+
+	mu      sync.Mutex
+	errEWMA float64 // recent failure rate, 0..1
+	latEWMA float64 // recent time-to-first-tuple, ns
+}
+
+// ewmaAlpha weights the newest observation; ~the last dozen requests
+// dominate the score.
+const ewmaAlpha = 0.3
+
+// note folds one finished operation into the replica's health estimate.
+// lat is the time to the operation's first response, 0 when it failed.
+func (rs *replicaState) note(failed bool, lat time.Duration) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	f := 0.0
+	if failed {
+		f = 1.0
+	}
+	rs.errEWMA = ewmaAlpha*f + (1-ewmaAlpha)*rs.errEWMA
+	if lat > 0 {
+		if rs.latEWMA == 0 {
+			rs.latEWMA = float64(lat)
+		} else {
+			rs.latEWMA = ewmaAlpha*float64(lat) + (1-ewmaAlpha)*rs.latEWMA
+		}
+	}
+}
+
+// score is the health tiebreaker among replicas with equal availability
+// and in-flight load: recent failures dominate, then recent latency.
+// Lower is better.
+func (rs *replicaState) score() float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	// A full second of latency weighs like a 10% recent error rate: errors
+	// are the stronger signal, latency breaks remaining ties.
+	return rs.errEWMA*10 + rs.latEWMA/float64(time.Second)
+}
+
+// ReplicaSet fans one logical database out over N replica endpoints. It
+// implements Backend; construction aside, callers use it exactly like a
+// Client. Safe for concurrent use.
+type ReplicaSet struct {
+	reps  []*replicaState
+	rr    atomic.Uint64 // round-robin cursor
+	fo    int           // per-stream cross-replica failover budget
+	hedge time.Duration // 0 = hedged opens disabled
+}
+
+// ReplicaOption configures a ReplicaSet.
+type ReplicaOption func(*ReplicaSet)
+
+// WithFailoverBudget bounds how many times one stream may fail over to a
+// different replica after its same-replica resume budget runs out. The
+// default is len(replicas)-1 — enough to try every other replica once.
+// n <= 0 disables cross-replica failover.
+func WithFailoverBudget(n int) ReplicaOption {
+	return func(s *ReplicaSet) { s.fo = n }
+}
+
+// WithHedgeDelay arms hedged opens: when the chosen replica has not
+// produced a stream header within d, a second healthy replica is raced
+// and the first to answer wins (the loser is closed). Queries are
+// read-only, so the duplicate work is safe. Zero disables hedging.
+func WithHedgeDelay(d time.Duration) ReplicaOption {
+	return func(s *ReplicaSet) { s.hedge = d }
+}
+
+// WithReplicaNames labels the replicas (typically their addresses) for
+// error text; extra names are ignored, missing ones fall back to the
+// index.
+func WithReplicaNames(names []string) ReplicaOption {
+	return func(s *ReplicaSet) {
+		for i, rs := range s.reps {
+			if i < len(names) {
+				rs.name = names[i]
+			}
+		}
+	}
+}
+
+// NewReplicaSet builds a set over the given endpoint clients. The clients
+// should share one configuration (pool, retry, resume, breaker) so a
+// stream behaves identically wherever it lands; the facade's
+// ConnectReplicas guarantees that.
+func NewReplicaSet(clients []*Client, opts ...ReplicaOption) *ReplicaSet {
+	s := &ReplicaSet{fo: len(clients) - 1}
+	for i, c := range clients {
+		s.reps = append(s.reps, &replicaState{client: c, name: fmt.Sprintf("replica %d", i)})
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	obs.M().ReplicaHealth(int64(len(s.reps)), int64(len(s.reps)))
+	return s
+}
+
+// Replicas reports the configured replica count.
+func (s *ReplicaSet) Replicas() int { return len(s.reps) }
+
+// pick chooses the replica for one operation: among the usable replicas
+// (breaker closed or probing, skipping exclude when another choice
+// exists), it prefers the best availability class, then the fewest
+// in-flight streams, then the best error/latency score; remaining ties go
+// round-robin. It fails closed with ErrNoHealthyReplica when every
+// replica is open-circuit. exclude < 0 excludes nothing.
+func (s *ReplicaSet) pick(exclude int) (int, *replicaState, error) {
+	return s.pickExcluding(func(i int) bool { return i == exclude })
+}
+
+func (s *ReplicaSet) pickExcluding(excluded func(int) bool) (int, *replicaState, error) {
+	start := int(s.rr.Add(1)-1) % len(s.reps)
+	best := -1
+	var bestKey [3]float64
+	healthy := int64(0)
+	for off := 0; off < len(s.reps); off++ {
+		i := (start + off) % len(s.reps)
+		rs := s.reps[i]
+		avail := rs.client.availability()
+		if avail < 2 {
+			healthy++
+		}
+		if avail >= 2 || (excluded(i) && len(s.reps) > 1) {
+			continue
+		}
+		key := [3]float64{float64(avail), float64(rs.inFlight.Load()), rs.score()}
+		if best < 0 || keyLess(key, bestKey) {
+			best, bestKey = i, key
+		}
+	}
+	obs.M().ReplicaHealth(healthy, int64(len(s.reps)))
+	if best < 0 {
+		obs.M().ClientNoHealthyReplica()
+		return 0, nil, ErrNoHealthyReplica
+	}
+	return best, s.reps[best], nil
+}
+
+// keyLess orders balancer keys lexicographically; strict, so among equal
+// candidates the first visited (the round-robin choice) wins.
+func keyLess(a, b [3]float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// openOn opens one stream on the chosen replica and binds the returned
+// Rows to the set: replica index, failover budget, and the in-flight slot
+// that release surrenders.
+func (s *ReplicaSet) openOn(ctx context.Context, idx int, rs *replicaState, sql string, spec *ResumeSpec) (*Rows, error) {
+	rs.inFlight.Add(1)
+	start := time.Now()
+	rows, err := rs.client.QueryResumable(ctx, sql, spec)
+	if err != nil {
+		rs.inFlight.Add(-1)
+		rs.note(true, 0)
+		return nil, err
+	}
+	rs.note(false, time.Since(start))
+	rows.set = s
+	rows.Replica = idx
+	rows.foBudget = s.fo
+	return rows, nil
+}
+
+// Query submits sql on a balancer-chosen replica; see Client.Query for
+// the streaming contract.
+func (s *ReplicaSet) Query(ctx context.Context, sql string) (*Rows, error) {
+	return s.QueryResumable(ctx, sql, nil)
+}
+
+// QueryResumable opens a resumable stream on a balancer-chosen replica.
+// A replica that fails the open with a transport-class error (or fails
+// fast on its own breaker) is skipped and the next healthy replica tried,
+// so a dead endpoint costs one attempt, not the query.
+func (s *ReplicaSet) QueryResumable(ctx context.Context, sql string, spec *ResumeSpec) (*Rows, error) {
+	if s.hedge > 0 && len(s.reps) > 1 {
+		return s.queryHedged(ctx, sql, spec)
+	}
+	tried := make(map[int]bool, len(s.reps))
+	var lastErr error
+	for range s.reps {
+		idx, rs, err := s.pickExcluding(func(i int) bool { return tried[i] })
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		rows, err := s.openOn(ctx, idx, rs, sql, spec)
+		if err == nil {
+			return rows, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
+			return nil, err
+		}
+		if !transient(err) && !errors.Is(err, ErrCircuitOpen) {
+			// A definitive server answer: the SQL itself is at fault, and
+			// every replica would answer the same.
+			return nil, err
+		}
+		tried[idx] = true
+	}
+	return nil, lastErr
+}
+
+// queryHedged opens the stream on the balancer's choice and, if no header
+// has arrived within the hedge delay, races one more healthy replica.
+// The first successful open wins; the straggler is canceled and closed in
+// the background. Each attempt runs under its own child context so losing
+// it cannot disturb the winner.
+func (s *ReplicaSet) queryHedged(ctx context.Context, sql string, spec *ResumeSpec) (*Rows, error) {
+	type attempt struct {
+		rows *Rows
+		err  error
+		i    int
+	}
+	results := make(chan attempt, 2)
+	cancels := make([]context.CancelFunc, 2)
+	launch := func(slot, idx int, rs *replicaState) {
+		actx, cancel := context.WithCancel(ctx)
+		cancels[slot] = cancel
+		go func() {
+			rows, err := s.openOn(actx, idx, rs, sql, spec)
+			if rows != nil {
+				rows.hedgeCancel = cancel
+			}
+			results <- attempt{rows, err, slot}
+		}()
+	}
+	primary, rs, err := s.pick(-1)
+	if err != nil {
+		return nil, err
+	}
+	launch(0, primary, rs)
+	outstanding := 1
+	timer := time.NewTimer(s.hedge)
+	defer timer.Stop()
+	hedged := false
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				if idx, rs, err := s.pick(primary); err == nil {
+					obs.M().ClientHedge()
+					launch(1, idx, rs)
+					outstanding++
+				}
+			}
+		case a := <-results:
+			outstanding--
+			if a.err == nil {
+				// Winner. Cancel and reap any straggler off the hot path;
+				// its release returns the in-flight slot.
+				if outstanding > 0 {
+					cancels[1-a.i]()
+					go func(n int) {
+						for i := 0; i < n; i++ {
+							if late := <-results; late.rows != nil {
+								late.rows.Close()
+							}
+						}
+					}(outstanding)
+				}
+				return a.rows, nil
+			}
+			cancels[a.i]()
+			if firstErr == nil {
+				firstErr = a.err
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// Estimate asks a balancer-chosen replica's optimizer for a cost
+// estimate, failing over to the next healthy replica on transport-class
+// errors.
+func (s *ReplicaSet) Estimate(ctx context.Context, sql string) (engine.Estimate, error) {
+	tried := make(map[int]bool, len(s.reps))
+	var lastErr error
+	for range s.reps {
+		idx, rs, err := s.pickExcluding(func(i int) bool { return tried[i] })
+		if err != nil {
+			if lastErr != nil {
+				return engine.Estimate{}, lastErr
+			}
+			return engine.Estimate{}, err
+		}
+		rs.inFlight.Add(1)
+		start := time.Now()
+		est, err := rs.client.Estimate(ctx, sql)
+		rs.inFlight.Add(-1)
+		if err == nil {
+			rs.note(false, time.Since(start))
+			return est, nil
+		}
+		rs.note(true, 0)
+		lastErr = err
+		if ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
+			return engine.Estimate{}, err
+		}
+		if !transient(err) && !errors.Is(err, ErrCircuitOpen) {
+			return engine.Estimate{}, err
+		}
+		tried[idx] = true
+	}
+	return engine.Estimate{}, lastErr
+}
+
+// StatsEpoch probes one balancer-chosen replica's statistics epoch. Like
+// Client.StatsEpoch it deliberately makes a single attempt — the caches
+// map a failed probe to the cold path, and hiding that behind silent
+// replica hopping would mask a sick deployment.
+func (s *ReplicaSet) StatsEpoch(ctx context.Context) (int64, error) {
+	idx, rs, err := s.pick(-1)
+	if err != nil {
+		return 0, err
+	}
+	rs.inFlight.Add(1)
+	start := time.Now()
+	epoch, err := rs.client.StatsEpoch(ctx)
+	rs.inFlight.Add(-1)
+	if err != nil {
+		rs.note(true, 0)
+		return 0, fmt.Errorf("%s: %w", s.reps[idx].name, err)
+	}
+	rs.note(false, time.Since(start))
+	return epoch, nil
+}
+
+// MaxResumes reports the shared per-stream resume budget (the clients are
+// built from one configuration).
+func (s *ReplicaSet) MaxResumes() int { return s.reps[0].client.MaxResumes() }
+
+// IdleConns sums the replicas' idle pools.
+func (s *ReplicaSet) IdleConns() int {
+	n := 0
+	for _, rs := range s.reps {
+		n += rs.client.IdleConns()
+	}
+	return n
+}
+
+// Close closes every replica's client, returning the first error.
+func (s *ReplicaSet) Close() error {
+	var first error
+	for _, rs := range s.reps {
+		if err := rs.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

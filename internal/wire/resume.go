@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"silkroute/internal/obs"
 	"silkroute/internal/value"
@@ -161,13 +162,6 @@ func (r *Rows) tryResume(cause error) error {
 		obs.M().ClientStreamLost()
 		return fmt.Errorf("wire: %w after %d rows: %v", ErrStreamLost, r.RowCount, cause)
 	}
-	if r.budget <= 0 {
-		// Armed, but earlier failures already spent the budget.
-		r.release(false)
-		obs.M().ClientStreamLost()
-		return fmt.Errorf("wire: %w after %d rows: %v", ErrResumeExhausted, r.RowCount, cause)
-	}
-
 	_, span := obs.StartSpan(r.ctx, "wire.client.resume")
 	defer span.End()
 	m := obs.M()
@@ -195,6 +189,12 @@ func (r *Rows) tryResume(cause error) error {
 		nr, err := r.client.queryOnce(r.ctx, span, sql)
 		if err != nil {
 			lastErr = err
+			if errors.Is(err, ErrCircuitOpen) && r.set != nil {
+				// This replica's breaker opened under us; burning the rest
+				// of the same-replica budget would just fail fast again.
+				// Only another replica can continue the stream.
+				break
+			}
 			if r.ctx.Err() != nil || !transient(err) || errors.Is(err, ErrClientClosed) {
 				r.release(false)
 				return err
@@ -211,9 +211,85 @@ func (r *Rows) tryResume(cause error) error {
 			return err
 		}
 	}
+	// Same-replica recovery is out of road. A replica-set stream gets one
+	// more ladder rung: re-issue the frontier suffix on a different healthy
+	// replica and splice the continuation in (the sorted-outer-union
+	// encoding makes the continuation byte-identical whichever healthy
+	// replica serves it).
+	if r.set != nil && r.foBudget > 0 {
+		if err := r.failover(span, &lastErr); err == nil {
+			return nil
+		}
+	}
 	r.release(false)
 	m.ClientStreamLost()
 	return fmt.Errorf("wire: %w after %d rows: %v", ErrResumeExhausted, r.RowCount, lastErr)
+}
+
+// failover moves the stream to a different healthy replica: it rewrites
+// the frontier suffix exactly like a same-replica resume, but opens the
+// continuation on a replica chosen by the balancer (excluding the current
+// one), then re-arms the same-replica resume budget there. It returns nil
+// once a continuation is adopted; on failure *lastErr carries the most
+// informative cause for the ErrResumeExhausted wrapper.
+func (r *Rows) failover(span *obs.Span, lastErr *error) error {
+	m := obs.M()
+	for r.foBudget > 0 {
+		if err := r.ctx.Err(); err != nil {
+			*lastErr = ctxSentinel(err)
+			return *lastErr
+		}
+		r.foBudget--
+		sql, err := r.spec.Rewrite(r.frontierKey())
+		if err != nil {
+			*lastErr = fmt.Errorf("wire: failover rewrite: %w", err)
+			return *lastErr
+		}
+		idx, rep, err := r.set.pick(r.Replica)
+		if err != nil {
+			*lastErr = err
+			return err
+		}
+		r.Failovers++
+		m.ClientFailover()
+		span.SetDetail(sql)
+		start := time.Now()
+		nr, err := rep.client.queryOnce(r.ctx, span, sql)
+		if err != nil {
+			rep.note(true, 0)
+			*lastErr = err
+			if r.ctx.Err() != nil || errors.Is(err, ErrClientClosed) {
+				return err
+			}
+			if !transient(err) && !errors.Is(err, ErrCircuitOpen) {
+				// A definitive server answer; no replica will answer
+				// differently.
+				return err
+			}
+			continue
+		}
+		permanent, err := r.adopt(nr)
+		if err != nil {
+			rep.note(true, 0)
+			*lastErr = err
+			if permanent || r.ctx.Err() != nil {
+				return err
+			}
+			continue
+		}
+		// Adopted: the stream now lives on the new replica. Move the
+		// in-flight slot, switch the owning client (release repools the
+		// connection into r.client's pool), and grant a fresh same-replica
+		// resume budget on the new home.
+		rep.note(false, time.Since(start))
+		r.set.reps[r.Replica].inFlight.Add(-1)
+		rep.inFlight.Add(1)
+		r.Replica = idx
+		r.client = rep.client
+		r.budget = r.client.MaxResumes()
+		return nil
+	}
+	return *lastErr
 }
 
 // adopt splices a freshly opened continuation stream into r: it verifies

@@ -27,7 +27,7 @@ func tpchSchemaForRemote() *schema.Schema { return tpch.Schema() }
 // A Remote is safe for concurrent use; Close it when done to release the
 // pool.
 type Remote struct {
-	client *wire.Client
+	client wire.Backend
 
 	cacheMu sync.Mutex
 	plans   *plancache.Cache
@@ -49,6 +49,30 @@ func ConnectFunc(dial func() (net.Conn, error), opts ...Option) *Remote {
 	return &Remote{client: wire.NewClient(
 		func(context.Context) (net.Conn, error) { return dial() },
 		buildConfig(opts).clientOptions()...)}
+}
+
+// ConnectReplicas returns a remote database handle over N replica
+// endpoints serving the same data. Each replica keeps its own connection
+// pool, retry policy, and circuit breaker (built from the shared option
+// list); a health-weighted balancer assigns every stream to a replica at
+// execution time, and — with WithResume enabled — a stream whose replica
+// dies mid-flight resumes there first, then fails over to another healthy
+// replica, splicing the continuation in byte-identically (see
+// WithFailover). When every replica is open-circuit, requests fail closed
+// with ErrNoHealthyReplica. A single address behaves like ConnectTCP.
+func ConnectReplicas(addrs []string, opts ...Option) *Remote {
+	if len(addrs) == 0 {
+		panic("silkroute: ConnectReplicas needs at least one address")
+	}
+	c := buildConfig(opts)
+	if len(addrs) == 1 {
+		return &Remote{client: wire.Dial(addrs[0], c.clientOptions()...)}
+	}
+	clients := make([]*wire.Client, len(addrs))
+	for i, a := range addrs {
+		clients[i] = wire.Dial(a, c.clientOptions()...)
+	}
+	return &Remote{client: wire.NewReplicaSet(clients, c.replicaOptions(addrs)...)}
 }
 
 // Close releases the connection pool. In-flight requests finish on their

@@ -41,6 +41,12 @@ var ErrStreamLost = wire.ErrStreamLost
 // down). Test for it with errors.Is.
 var ErrCircuitOpen = wire.ErrCircuitOpen
 
+// ErrNoHealthyReplica reports a request on a replicated connection
+// (ConnectReplicas) refused fast because every replica's circuit breaker
+// is open: the set fails closed rather than emitting a partial document.
+// Test for it with errors.Is.
+var ErrNoHealthyReplica = wire.ErrNoHealthyReplica
+
 // Retry configures how a remote connection retries dial-time and transient
 // failures. A query whose tuple stream has started is never retried — the
 // document being assembled must not see duplicated rows.
@@ -85,6 +91,10 @@ type config struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	breakerSet       bool
+	failover         int
+	failoverSet      bool
+	hedge            time.Duration
+	hedgeSet         bool
 }
 
 // WithWrapper sets the document element wrapped around a view's output;
@@ -150,6 +160,25 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 	}
 }
 
+// WithFailover bounds how many times one tuple stream may fail over to a
+// different replica after its same-replica resume budget runs out
+// (ConnectReplicas only; requires WithResume, since failover re-issues
+// the stream's frontier suffix). The default is replicas-1 — enough to
+// try every other replica once; n <= 0 disables cross-replica failover.
+// Connection option.
+func WithFailover(n int) Option {
+	return func(c *config) { c.failover, c.failoverSet = n, true }
+}
+
+// WithHedge arms hedged opens on a replicated connection: when the chosen
+// replica has not produced a stream header within d, a second healthy
+// replica is raced and the first answer wins. Queries are read-only, so
+// the duplicated work is safe. Zero (the default) disables hedging.
+// Connection option (ConnectReplicas only).
+func WithHedge(d time.Duration) Option {
+	return func(c *config) { c.hedge, c.hedgeSet = d, true }
+}
+
 // clientOptions translates the connection-side options into wire options.
 func (c *config) clientOptions() []wire.ClientOption {
 	var out []wire.ClientOption
@@ -174,6 +203,18 @@ func (c *config) clientOptions() []wire.ClientOption {
 			Threshold: c.breakerThreshold,
 			Cooldown:  c.breakerCooldown,
 		}))
+	}
+	return out
+}
+
+// replicaOptions translates the replica-side options into wire options.
+func (c *config) replicaOptions(names []string) []wire.ReplicaOption {
+	out := []wire.ReplicaOption{wire.WithReplicaNames(names)}
+	if c.failoverSet {
+		out = append(out, wire.WithFailoverBudget(c.failover))
+	}
+	if c.hedgeSet {
+		out = append(out, wire.WithHedgeDelay(c.hedge))
 	}
 	return out
 }
@@ -590,6 +631,10 @@ type Report struct {
 	// fragment cache (WithFragmentCache): no planning, no SQL, no tagging —
 	// Streams is 0 and SQL is empty.
 	FragmentCached bool
+	// Failovers totals the cross-replica failovers over every stream: how
+	// many times a stream's frontier suffix was re-issued on a different
+	// replica after same-replica resume gave up (ConnectReplicas only).
+	Failovers int
 }
 
 // StreamStat is one tuple stream's share of a materialization.
@@ -602,6 +647,8 @@ type StreamStat struct {
 	Retries   int           // wire attempts beyond the first (0 for local views)
 	Resumes   int           // mid-stream resumes after transport failures (remote views with WithResume)
 	Restarts  int           // full re-executions after the resume budget ran out
+	Failovers int           // cross-replica failovers (ConnectReplicas views only)
+	Replica   int           // replica index that finished serving the stream (0 single-backend)
 }
 
 // Materialize evaluates the view with the given strategy and writes the
@@ -771,7 +818,10 @@ func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Repo
 			Retries:   sm.Retries,
 			Resumes:   sm.Resumes,
 			Restarts:  sm.Restarts,
+			Failovers: sm.Failovers,
+			Replica:   sm.Replica,
 		}
+		rep.Failovers += sm.Failovers
 	}
 	return rep, nil
 }
