@@ -2,7 +2,7 @@ GO ?= go
 # Pinned so CI and laptops run the same checker; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet staticcheck test test-race chaos replica-chaos cache-check bench-smoke bench-json ci experiments
+.PHONY: all build vet staticcheck test test-race chaos replica-chaos cache-check bench-smoke bench-json loadtest loadtest-smoke ci experiments
 
 all: build
 
@@ -86,7 +86,20 @@ bench-json:
 	if [ $$status -eq 0 ]; then $(GO) run ./cmd/benchjson -o BENCH_7.json bench-raw.txt; fi; \
 	rm -f bench-raw.txt; exit $$status
 
-ci: vet staticcheck build test-race chaos replica-chaos cache-check bench-smoke bench-json
+# The view-service load test: N clients × M views against an in-process
+# silkrouted, every response byte-compared to a direct Materialize, plus
+# the saturation (503 + Retry-After) and SIGTERM-drain (zero truncated
+# documents) assertions. The JSON summary carries the p50/p99 numbers.
+loadtest:
+	$(GO) run ./cmd/loadgen -clients 32 -rounds 4 -out loadtest.json
+
+# The same harness, small enough to run under the race detector in CI:
+# equivalence, saturation, and drain are all still asserted, and the p99
+# summary lands in loadtest-smoke.json for the artifact upload.
+loadtest-smoke:
+	$(GO) run -race ./cmd/loadgen -clients 8 -rounds 2 -out loadtest-smoke.json
+
+ci: vet staticcheck build test-race chaos replica-chaos cache-check loadtest-smoke bench-smoke bench-json
 
 experiments:
 	$(GO) run ./cmd/experiments

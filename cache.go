@@ -97,7 +97,7 @@ func (v *View) fingerprint() uint64 {
 			h.Write([]byte{0})
 		}
 	}
-	ws("wrapper", v.Wrapper, "reduce", strconv.FormatBool(v.Reduce))
+	ws("wrapper", v.wrapper, "reduce", strconv.FormatBool(v.reduce))
 	for _, n := range v.tree.Nodes {
 		ws("node", n.SkolemName, n.Tag, viewtree.SFIString(n.SFI))
 		if n.Rule != nil {

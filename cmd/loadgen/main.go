@@ -1,0 +1,551 @@
+// Command loadgen is the load-test harness for silkrouted: N concurrent
+// clients hammering M registered views over HTTP, with every response
+// checked byte-for-byte against a direct Materialize of the same view.
+// It reports p50/p95/p99 latency overall and per view, and writes a JSON
+// summary for CI artifacts.
+//
+// By default it runs fully in-process — it builds a TPC-H database,
+// registers the built-in views under several strategies, starts a viewsvc
+// server on a loopback port, and drives it — so `make loadtest` needs no
+// running daemon. Three phases run in order:
+//
+//  1. throughput: N clients × R rounds over every view; every body must
+//     equal the direct-Materialize golden byte-for-byte.
+//  2. saturation: a second server capped at -sat-concurrent admitted
+//     streams, with in-flight streams parked on a gate; the overflow must
+//     be refused with 503 + Retry-After, and the parked streams must still
+//     complete byte-identically once released.
+//  3. drain: streams are parked mid-flight, the process sends itself
+//     SIGTERM, and the harness asserts the real signal path: new requests
+//     are refused while every in-flight stream completes byte-identically
+//     — zero truncated documents.
+//
+// With -addr the harness instead targets an already-running silkrouted
+// (goldens become first-fetch baselines; saturation and drain phases are
+// skipped — they require in-process control of the server).
+//
+// Any mismatch, truncation, or failed assertion makes loadgen exit
+// nonzero, which is what lets `make loadtest-smoke` gate CI.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"silkroute"
+	"silkroute/internal/rxl"
+	"silkroute/internal/viewsvc"
+)
+
+// builtinViews is the in-process registry: the paper's three views, plus
+// strategy variants so the multi-tenant surface exercises distinct plans
+// under one roof. Five views comfortably clears the ≥4 the harness is
+// meant to prove.
+var builtinViews = []struct {
+	name     string
+	src      string
+	strategy silkroute.Strategy
+}{
+	{"q1", rxl.Query1Source, silkroute.Greedy},
+	{"q2", rxl.Query2Source, silkroute.Greedy},
+	{"fragment", rxl.FragmentSource, silkroute.Greedy},
+	{"q1-unified", rxl.Query1Source, silkroute.Unified},
+	{"q2-partitioned", rxl.Query2Source, silkroute.FullyPartitioned},
+}
+
+type viewStats struct {
+	Requests int     `json:"requests"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
+}
+
+type report struct {
+	Clients    int                  `json:"clients"`
+	Rounds     int                  `json:"rounds"`
+	Views      int                  `json:"views"`
+	Requests   int                  `json:"requests"`
+	Mismatches int                  `json:"mismatches"`
+	Errors     int                  `json:"errors"`
+	P50ms      float64              `json:"p50_ms"`
+	P95ms      float64              `json:"p95_ms"`
+	P99ms      float64              `json:"p99_ms"`
+	PerView    map[string]viewStats `json:"per_view"`
+	Saturation *saturationReport    `json:"saturation,omitempty"`
+	Drain      *drainReport         `json:"drain,omitempty"`
+	OK         bool                 `json:"ok"`
+}
+
+type saturationReport struct {
+	Admitted   int    `json:"admitted"`
+	Rejected   int    `json:"rejected"`
+	RetryAfter string `json:"retry_after"`
+	OK         bool   `json:"ok"`
+}
+
+type drainReport struct {
+	InFlight   int  `json:"in_flight"`
+	Completed  int  `json:"completed"`
+	NewRefused bool `json:"new_refused"`
+	CleanExit  bool `json:"clean_exit"`
+	OK         bool `json:"ok"`
+}
+
+func main() {
+	clients := flag.Int("clients", 32, "concurrent client goroutines")
+	rounds := flag.Int("rounds", 4, "requests per client per view")
+	scale := flag.Float64("scale", 0.001, "TPC-H scale factor for the in-process backend")
+	seed := flag.Int64("seed", 42, "TPC-H generator seed")
+	addr := flag.String("addr", "", "target an external silkrouted instead of in-process (skips saturation/drain)")
+	satConcurrent := flag.Int("sat-concurrent", 2, "admitted-stream cap for the saturation phase")
+	skipSaturate := flag.Bool("skip-saturate", false, "skip the saturation phase")
+	skipDrain := flag.Bool("skip-drain", false, "skip the SIGTERM drain phase")
+	out := flag.String("out", "", "write the JSON summary to this file")
+	flag.Parse()
+
+	rep := report{
+		Clients: *clients,
+		Rounds:  *rounds,
+		PerView: make(map[string]viewStats),
+		OK:      true,
+	}
+
+	var (
+		baseURL string
+		goldens map[string][]byte
+		reg     *viewsvc.Registry
+		stop    func()
+	)
+	if *addr != "" {
+		baseURL = "http://" + *addr
+		var err error
+		goldens, err = fetchBaselines(baseURL)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		db := silkroute.OpenTPCH(*scale, *seed)
+		var err error
+		reg, goldens, err = buildRegistry(db)
+		if err != nil {
+			fatal(err)
+		}
+		baseURL, stop, err = startServer(viewsvc.Config{
+			Registry: reg,
+			Limits:   viewsvc.Limits{MaxConcurrent: *clients + 4},
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	rep.Views = len(goldens)
+
+	runThroughput(baseURL, goldens, *clients, *rounds, &rep)
+	if stop != nil {
+		stop()
+	}
+
+	if *addr == "" && !*skipSaturate {
+		db := silkroute.OpenTPCH(*scale, *seed)
+		r, g, err := buildRegistry(db)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Saturation = runSaturation(r, g, *satConcurrent)
+		if !rep.Saturation.OK {
+			rep.OK = false
+		}
+	}
+	if *addr == "" && !*skipDrain {
+		db := silkroute.OpenTPCH(*scale, *seed)
+		r, g, err := buildRegistry(db)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Drain = runDrain(r, g)
+		if !rep.Drain.OK {
+			rep.OK = false
+		}
+	}
+
+	if rep.Mismatches > 0 || rep.Errors > 0 {
+		rep.OK = false
+	}
+	printSummary(&rep)
+	if *out != "" {
+		blob, _ := json.MarshalIndent(&rep, "", "  ")
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if !rep.OK {
+		os.Exit(1)
+	}
+}
+
+// buildRegistry registers the built-in views against db and computes the
+// direct-Materialize golden document for each — the byte-exact reference
+// every HTTP response is judged against.
+func buildRegistry(db *silkroute.DB) (*viewsvc.Registry, map[string][]byte, error) {
+	reg := viewsvc.NewRegistry()
+	goldens := make(map[string][]byte, len(builtinViews))
+	for _, bv := range builtinViews {
+		h, err := viewsvc.Compile(bv.name, db, bv.src, silkroute.WithStrategy(bv.strategy))
+		if err != nil {
+			return nil, nil, err
+		}
+		reg.Register(bv.name, h, bv.src, "loadgen")
+		var buf bytes.Buffer
+		if _, err := h.Materialize(context.Background(), &buf); err != nil {
+			return nil, nil, fmt.Errorf("golden for %s: %w", bv.name, err)
+		}
+		goldens[bv.name] = buf.Bytes()
+	}
+	return reg, goldens, nil
+}
+
+// startServer launches a viewsvc server on a loopback port and returns its
+// base URL plus a stopper that drains it.
+func startServer(cfg viewsvc.Config) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := viewsvc.New(cfg)
+	go srv.Serve(l)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return "http://" + l.Addr().String(), stop, nil
+}
+
+func newClient(conns int) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: conns,
+	}}
+}
+
+// fetchBaselines lists an external server's views and takes each one's
+// first fetch as the reference body for the run.
+func fetchBaselines(baseURL string) (map[string][]byte, error) {
+	resp, err := http.Get(baseURL + "/views")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var infos []viewsvc.ViewInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("list views: %w", err)
+	}
+	goldens := make(map[string][]byte)
+	for _, vi := range infos {
+		if !vi.OK {
+			continue
+		}
+		body, _, err := get(http.DefaultClient, baseURL, vi.Name)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", vi.Name, err)
+		}
+		goldens[vi.Name] = body
+	}
+	if len(goldens) == 0 {
+		return nil, fmt.Errorf("no serving views at %s", baseURL)
+	}
+	return goldens, nil
+}
+
+// get fetches one view document and reports the full body and elapsed time.
+func get(c *http.Client, baseURL, view string) ([]byte, time.Duration, error) {
+	start := time.Now()
+	resp, err := c.Get(baseURL + "/views/" + view)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, elapsed, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, elapsed, fmt.Errorf("view %s: %s: %s", view, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, elapsed, nil
+}
+
+type sample struct {
+	view string
+	d    time.Duration
+}
+
+// runThroughput is the main phase: every client walks the view list
+// (rotated by client index so the mix interleaves) rounds times, and every
+// body is compared byte-for-byte against the golden.
+func runThroughput(baseURL string, goldens map[string][]byte, clients, rounds int, rep *report) {
+	views := make([]string, 0, len(goldens))
+	for name := range goldens {
+		views = append(views, name)
+	}
+	sort.Strings(views)
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	httpc := newClient(clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range views {
+					view := views[(c+i)%len(views)]
+					body, elapsed, err := get(httpc, baseURL, view)
+					mu.Lock()
+					rep.Requests++
+					switch {
+					case err != nil:
+						rep.Errors++
+						fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+					case !bytes.Equal(body, goldens[view]):
+						rep.Mismatches++
+						fmt.Fprintf(os.Stderr, "loadgen: view %s: body diverges from direct Materialize (%d vs %d bytes)\n",
+							view, len(body), len(goldens[view]))
+					default:
+						samples = append(samples, sample{view, elapsed})
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	durs := make([]time.Duration, len(samples))
+	perView := make(map[string][]time.Duration)
+	for i, s := range samples {
+		durs[i] = s.d
+		perView[s.view] = append(perView[s.view], s.d)
+	}
+	rep.P50ms, rep.P95ms, rep.P99ms = percentileMS(durs, 50), percentileMS(durs, 95), percentileMS(durs, 99)
+	for view, vd := range perView {
+		rep.PerView[view] = viewStats{
+			Requests: len(vd),
+			P50ms:    percentileMS(vd, 50),
+			P99ms:    percentileMS(vd, 99),
+		}
+	}
+}
+
+// runSaturation proves admission control: with slots admitted streams parked
+// on a gate, the overflow must bounce with 503 + Retry-After, and the
+// parked streams must still finish byte-identically once released.
+func runSaturation(reg *viewsvc.Registry, goldens map[string][]byte, slots int) *saturationReport {
+	sr := &saturationReport{}
+	gate := make(chan struct{})
+	admitted := make(chan struct{}, slots*2)
+	baseURL, stop, err := startServer(viewsvc.Config{
+		Registry: reg,
+		Limits:   viewsvc.Limits{MaxConcurrent: slots, RetryAfter: 2 * time.Second},
+		Hooks: viewsvc.Hooks{StreamStarted: func(*viewsvc.Session) {
+			admitted <- struct{}{}
+			<-gate
+		}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: saturation:", err)
+		return sr
+	}
+	defer stop()
+
+	httpc := newClient(slots)
+	// Park exactly slots streams on the gate, one at a time, so admission
+	// is deterministic rather than a race between the fillers.
+	var parked sync.WaitGroup
+	results := make(chan error, slots)
+	for i := 0; i < slots; i++ {
+		parked.Add(1)
+		go func() {
+			defer parked.Done()
+			body, _, err := get(httpc, baseURL, "q1")
+			if err == nil && !bytes.Equal(body, goldens["q1"]) {
+				err = fmt.Errorf("parked stream diverged from golden")
+			}
+			results <- err
+		}()
+		<-admitted
+	}
+	sr.Admitted = slots
+
+	// Every further request must be refused, and must say when to retry.
+	for i := 0; i < slots+2; i++ {
+		resp, err := http.Get(baseURL + "/views/q1")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: saturation probe:", err)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			sr.Rejected++
+			sr.RetryAfter = resp.Header.Get("Retry-After")
+		}
+	}
+
+	close(gate)
+	parked.Wait()
+	ok := sr.Rejected == slots+2 && sr.RetryAfter != ""
+	for i := 0; i < slots; i++ {
+		if err := <-results; err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: saturation:", err)
+			ok = false
+		}
+	}
+	sr.OK = ok
+	return sr
+}
+
+// runDrain proves graceful shutdown end to end through the real signal
+// path: park streams mid-flight, deliver SIGTERM to our own process, and
+// require that new requests bounce while every parked stream completes
+// byte-identically — a drained server never truncates a document.
+func runDrain(reg *viewsvc.Registry, goldens map[string][]byte) *drainReport {
+	dr := &drainReport{InFlight: 3}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stopSignals()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: drain:", err)
+		return dr
+	}
+	gate := make(chan struct{})
+	admitted := make(chan struct{}, dr.InFlight)
+	srv := viewsvc.New(viewsvc.Config{
+		Registry: reg,
+		Limits:   viewsvc.Limits{MaxConcurrent: dr.InFlight + 1},
+		Hooks: viewsvc.Hooks{StreamStarted: func(*viewsvc.Session) {
+			admitted <- struct{}{}
+			<-gate
+		}},
+	})
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeContext(ctx, l, 30*time.Second) }()
+	baseURL := "http://" + l.Addr().String()
+
+	httpc := newClient(dr.InFlight)
+	var wg sync.WaitGroup
+	results := make(chan error, dr.InFlight)
+	for i := 0; i < dr.InFlight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _, err := get(httpc, baseURL, "q2")
+			if err == nil && !bytes.Equal(body, goldens["q2"]) {
+				err = fmt.Errorf("drained stream diverged from golden")
+			}
+			results <- err
+		}()
+		<-admitted
+	}
+
+	// All streams are mid-flight. Pull the trigger the way an operator (or
+	// an orchestrator) would.
+	syscall.Kill(os.Getpid(), syscall.SIGTERM)
+
+	// The listener must close promptly: new requests get a transport error,
+	// not a queued slot.
+	probe := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := probe.Get(baseURL + "/healthz")
+		if err != nil {
+			dr.NewRefused = true
+			break
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	close(gate)
+	wg.Wait()
+	ok := dr.NewRefused
+	for i := 0; i < dr.InFlight; i++ {
+		if err := <-results; err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: drain:", err)
+			ok = false
+		} else {
+			dr.Completed++
+		}
+	}
+	if err := <-served; err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: drain: ServeContext:", err)
+		ok = false
+	} else {
+		dr.CleanExit = true
+	}
+	dr.OK = ok && dr.Completed == dr.InFlight
+	return dr
+}
+
+func percentileMS(durs []time.Duration, p int) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*p + 99) / 100 // ceil rank
+	if idx < 1 {
+		idx = 1
+	}
+	return float64(sorted[idx-1]) / float64(time.Millisecond)
+}
+
+func printSummary(rep *report) {
+	fmt.Printf("loadgen: %d clients × %d rounds over %d views — %d requests, %d mismatches, %d errors\n",
+		rep.Clients, rep.Rounds, rep.Views, rep.Requests, rep.Mismatches, rep.Errors)
+	fmt.Printf("latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n", rep.P50ms, rep.P95ms, rep.P99ms)
+	views := make([]string, 0, len(rep.PerView))
+	for v := range rep.PerView {
+		views = append(views, v)
+	}
+	sort.Strings(views)
+	for _, v := range views {
+		vs := rep.PerView[v]
+		fmt.Printf("  %-16s %5d req  p50 %.2fms  p99 %.2fms\n", v, vs.Requests, vs.P50ms, vs.P99ms)
+	}
+	if rep.Saturation != nil {
+		fmt.Printf("saturation: %d admitted, %d rejected (Retry-After %ss) — ok=%v\n",
+			rep.Saturation.Admitted, rep.Saturation.Rejected, rep.Saturation.RetryAfter, rep.Saturation.OK)
+	}
+	if rep.Drain != nil {
+		fmt.Printf("drain: %d in-flight all completed=%v, new refused=%v, clean exit=%v — ok=%v\n",
+			rep.Drain.InFlight, rep.Drain.Completed == rep.Drain.InFlight,
+			rep.Drain.NewRefused, rep.Drain.CleanExit, rep.Drain.OK)
+	}
+	if rep.OK {
+		fmt.Println("loadgen: PASS")
+	} else {
+		fmt.Println("loadgen: FAIL")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

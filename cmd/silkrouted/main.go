@@ -1,0 +1,217 @@
+// Command silkrouted is the long-running, multi-tenant XML view service:
+// the paper's middleware as a daemon. It registers many named RXL views —
+// from a config directory and/or an admin endpoint — and serves their
+// materializations to many concurrent clients over HTTP, streaming each
+// document as the tagger emits it (chunked transfer, no full-document
+// buffering).
+//
+// Views come from "<dir>/<name>.rxl" files (-views) and, with -admin, from
+// PUT /views/{name} with the RXL source as the body. A view file that does
+// not parse degrades that one name to 503 — with a file:line:column
+// diagnostic — while the rest of the registry serves.
+//
+// The data plane:
+//
+//	GET /views                  list registered views (JSON)
+//	GET /views/{name}           stream the XML document (?strategy= overrides)
+//	GET /views/{name}/explain   the plan and SQL, without executing
+//	GET /sessions               live streams (JSON)
+//	GET /metrics, /healthz      Prometheus metrics and liveness
+//	PUT/DELETE /views/{name}    register/remove a view (-admin only)
+//
+// Admission control refuses work beyond -max-concurrent with 503 +
+// Retry-After instead of queueing. SIGTERM drains gracefully: in-flight
+// streams finish (never truncated), new requests are refused.
+//
+// The backend is the built-in TPC-H generator (-scale/-seed), a CSV
+// directory (-data), one remote silkroute -serve database (-connect), or
+// a replica set (-replicas) — all through the facade's unified Dial
+// options, so every connection policy flag maps onto one option list.
+//
+// Usage:
+//
+//	silkrouted -addr :8344 -builtin                      # built-in TPC-H views
+//	silkrouted -addr :8344 -views ./views -data ./tpch   # view files over CSVs
+//	silkrouted -connect db:7070 -builtin                 # remote backend
+//	silkrouted -replicas a:7070,b:7070 -resume 3 -builtin
+//	curl -N localhost:8344/views/q1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"silkroute"
+	"silkroute/internal/obs"
+	"silkroute/internal/rxl"
+	"silkroute/internal/viewsvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "HTTP listen address")
+	viewsDir := flag.String("views", "", "directory of <name>.rxl view definitions")
+	builtin := flag.Bool("builtin", false, "register the paper's built-in views (q1, q2, fragment)")
+	admin := flag.Bool("admin", false, "enable PUT/DELETE /views/{name} registration")
+	strategy := flag.String("strategy", "greedy", "default plan strategy for registered views")
+	scale := flag.Float64("scale", 0.001, "TPC-H scale factor when generating data")
+	seed := flag.Int64("seed", 42, "TPC-H generator seed")
+	data := flag.String("data", "", "directory of <Relation>.csv files (instead of generating)")
+	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
+	replicas := flag.String("replicas", "", "comma-separated replica addresses (balanced, failover with -resume)")
+	maxConcurrent := flag.Int("max-concurrent", viewsvc.DefaultMaxConcurrent, "concurrent materializations admitted; beyond it 503 + Retry-After")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline, admission through last byte (0 = none)")
+	maxBytes := flag.Int64("max-bytes", 0, "abort responses past this many bytes, fail-closed (0 = none)")
+	retryAfter := flag.Duration("retry-after", viewsvc.DefaultRetryAfter, "backoff hint on 503 responses")
+	grace := flag.Duration("grace", 30*time.Second, "drain grace after SIGTERM before force-closing streams")
+	noReduce := flag.Bool("no-reduce", false, "disable view-tree reduction")
+	parallelism := flag.Int("parallelism", 0, "concurrent partition queries per request (0 = one per CPU)")
+	planCache := flag.Bool("plan-cache", true, "memoize compiled plans across requests")
+	fragCache := flag.Int64("fragment-cache", 0, "cache materialized XML under this byte budget (0 = off, -1 = unbounded)")
+	resume := flag.Int("resume", 0, "resume a died tuple stream mid-flight up to N times (remote only)")
+	breakerThreshold := flag.Int("breaker", 0, "open a circuit breaker after N consecutive transport failures (remote only)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing (0 = 1s default)")
+	failover := flag.Int("failover", 0, "cross-replica failovers per stream after resume gives up (0 = replicas-1 default)")
+	hedge := flag.Duration("hedge", 0, "race a second replica when the first has not answered within this delay (0 = off)")
+	flag.Parse()
+
+	strat, err := silkroute.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One option list configures everything: the backend connection
+	// (Dial), every registered view, and admin-registered views — the
+	// facade's unified option set is what lets the server config map 1:1.
+	opts := []silkroute.Option{
+		silkroute.WithStrategy(strat),
+		silkroute.WithReduce(!*noReduce),
+		silkroute.WithParallelism(*parallelism),
+	}
+	if *planCache {
+		opts = append(opts, silkroute.WithPlanCache())
+	}
+	if *fragCache != 0 {
+		opts = append(opts, silkroute.WithFragmentCache(*fragCache))
+	}
+	if *resume > 0 {
+		opts = append(opts, silkroute.WithResume(*resume))
+	}
+	if *breakerThreshold > 0 {
+		opts = append(opts, silkroute.WithBreaker(*breakerThreshold, *breakerCooldown))
+	}
+	if *failover > 0 {
+		opts = append(opts, silkroute.WithFailover(*failover))
+	}
+	if *hedge > 0 {
+		opts = append(opts, silkroute.WithHedge(*hedge))
+	}
+
+	var backend silkroute.Backend
+	switch {
+	case *replicas != "":
+		opts = append(opts,
+			silkroute.WithAddrs(strings.Split(*replicas, ",")...),
+			silkroute.WithSource(silkroute.TPCHSourceDescription()))
+		r, err := silkroute.Dial(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		backend = r
+	case *connect != "":
+		opts = append(opts,
+			silkroute.WithAddrs(*connect),
+			silkroute.WithSource(silkroute.TPCHSourceDescription()))
+		r, err := silkroute.Dial(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		backend = r
+	default:
+		db := silkroute.OpenTPCH(scaleFor(*data, *scale), *seed)
+		if *data != "" {
+			if err := db.LoadCSVDir(*data); err != nil {
+				fatal(err)
+			}
+		}
+		backend = db
+	}
+
+	reg := viewsvc.NewRegistry()
+	if *builtin {
+		for name, src := range map[string]string{
+			"q1":       rxl.Query1Source,
+			"q2":       rxl.Query2Source,
+			"fragment": rxl.FragmentSource,
+		} {
+			h, err := viewsvc.Compile(name, backend, src, opts...)
+			if err != nil {
+				fatal(err)
+			}
+			reg.Register(name, h, src, "builtin")
+		}
+	}
+	if *viewsDir != "" {
+		ok, broken, err := reg.LoadDir(*viewsDir, backend, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "silkrouted: loaded %d view(s) from %s", ok, *viewsDir)
+		if broken > 0 {
+			fmt.Fprintf(os.Stderr, " (%d broken — serving 503 with diagnostics)", broken)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	if len(reg.Names()) == 0 && !*admin {
+		fatal(fmt.Errorf("no views registered: pass -views DIR, -builtin, or -admin"))
+	}
+
+	srv := viewsvc.New(viewsvc.Config{
+		Registry: reg,
+		Limits: viewsvc.Limits{
+			MaxConcurrent:    *maxConcurrent,
+			RequestTimeout:   *requestTimeout,
+			MaxResponseBytes: *maxBytes,
+			RetryAfter:       *retryAfter,
+		},
+		Admin:   *admin,
+		Backend: backend,
+		Options: opts,
+	})
+
+	obs.Enable()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "silkrouted: serving %d view(s) on http://%s/views\n", len(reg.Names()), l.Addr())
+	if err := srv.ServeContext(ctx, l, *grace); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "silkrouted: drained cleanly")
+}
+
+// scaleFor returns the generator scale: zero (empty tables) when a CSV
+// directory supplies the data.
+func scaleFor(data string, scale float64) float64 {
+	if data != "" {
+		return 0
+	}
+	return scale
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silkrouted:", err)
+	os.Exit(1)
+}

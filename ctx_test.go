@@ -193,8 +193,8 @@ func TestOptionsConfigureView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v.Wrapper != "authors" || v.Reduce || v.Parallelism != 2 {
-		t.Errorf("options not applied: wrapper=%q reduce=%v parallelism=%d", v.Wrapper, v.Reduce, v.Parallelism)
+	if v.wrapper != "authors" || v.reduce || v.parallelism != 2 {
+		t.Errorf("options not applied: wrapper=%q reduce=%v parallelism=%d", v.wrapper, v.reduce, v.parallelism)
 	}
 	var buf bytes.Buffer
 	if _, err := v.Materialize(ctx, &buf, Unified); err != nil {

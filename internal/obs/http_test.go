@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.HTTPSessionOpen()
+	m.HTTPReject()
+	m.HTTPRequestStart("q1")
+	m.HTTPRequestEnd("q1", time.Millisecond, 10, false)
+
+	var h *HTTPMetrics
+	if s := h.View("q1"); s != nil {
+		t.Fatal("nil HTTPMetrics returned a series")
+	}
+	h.EachView(func(string, *ViewSeries) { t.Fatal("nil HTTPMetrics iterated") })
+}
+
+func TestHTTPMetricsPerViewSeries(t *testing.T) {
+	m := &Metrics{}
+	m.HTTPSessionOpen()
+	m.HTTPRequestStart("q1")
+	m.HTTPRequestEnd("q1", 5*time.Millisecond, 1000, false)
+	m.HTTPRequestStart("q1")
+	m.HTTPRequestEnd("q1", 7*time.Millisecond, 1200, true)
+	m.HTTPRequestStart("q2")
+	m.HTTPRequestEnd("q2", time.Millisecond, 50, false)
+	m.HTTPReject()
+
+	if got := m.HTTP.Requests.Value(); got != 3 {
+		t.Errorf("Requests = %d, want 3", got)
+	}
+	if got := m.HTTP.Rejected.Value(); got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+	if got := m.HTTP.InFlight.Value(); got != 0 {
+		t.Errorf("InFlight = %d, want 0 after all ended", got)
+	}
+	q1 := m.HTTP.View("q1")
+	if q1.Requests.Value() != 2 || q1.Errors.Value() != 1 || q1.Bytes.Value() != 2200 {
+		t.Errorf("q1 series = %d req, %d err, %d bytes; want 2, 1, 2200",
+			q1.Requests.Value(), q1.Errors.Value(), q1.Bytes.Value())
+	}
+	if got := q1.Latency.Count(); got != 2 {
+		t.Errorf("q1 latency samples = %d, want 2", got)
+	}
+
+	// EachView walks lexically, and View returns the same series each call.
+	var order []string
+	m.HTTP.EachView(func(name string, _ *ViewSeries) { order = append(order, name) })
+	if len(order) != 2 || order[0] != "q1" || order[1] != "q2" {
+		t.Errorf("EachView order = %v, want [q1 q2]", order)
+	}
+	if m.HTTP.View("q1") != q1 {
+		t.Error("View returned a different series for the same name")
+	}
+}
+
+func TestPrometheusHTTPExposition(t *testing.T) {
+	m := &Metrics{}
+	m.HTTPSessionOpen()
+	m.HTTPRequestStart("fragment")
+	m.HTTPRequestEnd("fragment", 3*time.Millisecond, 512, false)
+	m.HTTPReject()
+
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"silkroute_http_requests_total 1",
+		"silkroute_http_rejected_total 1",
+		"silkroute_http_sessions_total 1",
+		"silkroute_http_inflight 0",
+		`silkroute_http_view_requests_total{view="fragment"} 1`,
+		`silkroute_http_view_bytes_total{view="fragment"} 512`,
+		`silkroute_http_view_request_seconds_count{view="fragment"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}

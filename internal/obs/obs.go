@@ -296,6 +296,73 @@ type CacheMetrics struct {
 	ProbeFailures Counter
 }
 
+// ViewSeries is one registered view's share of the HTTP view service:
+// request count, failures, in-flight streams, and latency. Entries are
+// created on first use and live for the process lifetime (view registries
+// are small — tens of views, not millions of keys).
+type ViewSeries struct {
+	// Requests counts view materializations requested over HTTP.
+	Requests Counter
+	// Errors counts requests that failed after admission (plan, execution,
+	// or mid-stream write failures; 4xx lookup misses are not errors).
+	Errors Counter
+	// InFlight is the number of responses currently streaming.
+	InFlight Gauge
+	// Bytes counts response bytes streamed for this view.
+	Bytes Counter
+	// Latency is the end-to-end request latency (ns samples, exported in
+	// seconds).
+	Latency Histogram
+}
+
+// HTTPMetrics covers the multi-tenant HTTP view service (silkrouted): the
+// server-wide admission picture plus one labeled series per view.
+type HTTPMetrics struct {
+	// Requests counts HTTP view requests accepted for service.
+	Requests Counter
+	// Rejected counts requests refused by admission control (503 +
+	// Retry-After: the concurrency semaphore was saturated).
+	Rejected Counter
+	// InFlight is the number of view responses currently streaming.
+	InFlight Gauge
+	// Sessions counts sessions opened over the process lifetime.
+	Sessions Counter
+
+	// views maps view name → *ViewSeries, created on first touch.
+	views sync.Map
+}
+
+// View returns the named view's series, creating it on first use. Safe on
+// a nil receiver (returns nil, whose methods are all no-ops).
+func (h *HTTPMetrics) View(name string) *ViewSeries {
+	if h == nil {
+		return nil
+	}
+	if s, ok := h.views.Load(name); ok {
+		return s.(*ViewSeries)
+	}
+	s, _ := h.views.LoadOrStore(name, &ViewSeries{})
+	return s.(*ViewSeries)
+}
+
+// EachView calls fn for every view series, in lexical name order.
+func (h *HTTPMetrics) EachView(fn func(name string, s *ViewSeries)) {
+	if h == nil {
+		return
+	}
+	var names []string
+	h.views.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	for _, n := range names {
+		if s, ok := h.views.Load(n); ok {
+			fn(n, s.(*ViewSeries))
+		}
+	}
+}
+
 // ServerMetrics covers the wire server.
 type ServerMetrics struct {
 	// Requests counts wire requests served (queries + estimates).
@@ -324,6 +391,7 @@ type Metrics struct {
 	Cache   CacheMetrics
 	Client  ClientMetrics
 	Server  ServerMetrics
+	HTTP    HTTPMetrics
 	Tracer  Tracer
 }
 
@@ -627,6 +695,50 @@ func (m *Metrics) ReplicaHealth(healthy, total int64) {
 	}
 	m.Client.ReplicasHealthy.Set(healthy)
 	m.Client.Replicas.Set(total)
+}
+
+// HTTPSessionOpen records one HTTP session beginning its lifecycle.
+func (m *Metrics) HTTPSessionOpen() {
+	if m == nil {
+		return
+	}
+	m.HTTP.Sessions.Inc()
+}
+
+// HTTPReject records a request refused by admission control (503).
+func (m *Metrics) HTTPReject() {
+	if m == nil {
+		return
+	}
+	m.HTTP.Rejected.Inc()
+}
+
+// HTTPRequestStart records a view request admitted for service.
+func (m *Metrics) HTTPRequestStart(view string) {
+	if m == nil {
+		return
+	}
+	m.HTTP.Requests.Inc()
+	m.HTTP.InFlight.Inc()
+	s := m.HTTP.View(view)
+	s.Requests.Inc()
+	s.InFlight.Inc()
+}
+
+// HTTPRequestEnd records a view request finishing: its latency, streamed
+// bytes, and whether it failed after admission.
+func (m *Metrics) HTTPRequestEnd(view string, d time.Duration, bytes int64, failed bool) {
+	if m == nil {
+		return
+	}
+	m.HTTP.InFlight.Dec()
+	s := m.HTTP.View(view)
+	s.InFlight.Dec()
+	s.Bytes.Add(bytes)
+	s.Latency.Observe(int64(d))
+	if failed {
+		s.Errors.Inc()
+	}
 }
 
 // ServerRequestStart records a wire request starting on the server.

@@ -75,12 +75,56 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	gauge("silkroute_wire_replicas", "Configured replica count of the active replica set.", m.Client.Replicas.Value())
 	gauge("silkroute_wire_replicas_healthy", "Replicas the balancer currently considers usable.", m.Client.ReplicasHealthy.Value())
 
+	counter("silkroute_http_requests_total", "HTTP view requests admitted for service.", m.HTTP.Requests.Value())
+	counter("silkroute_http_rejected_total", "HTTP requests refused by admission control (503 + Retry-After).", m.HTTP.Rejected.Value())
+	counter("silkroute_http_sessions_total", "HTTP sessions opened.", m.HTTP.Sessions.Value())
+	gauge("silkroute_http_inflight", "HTTP view responses currently streaming.", m.HTTP.InFlight.Value())
+	m.writeViewSeries(b)
+
 	counter("silkroute_wire_server_requests_total", "Wire requests served.", m.Server.Requests.Value())
 	counter("silkroute_wire_server_rows_sent_total", "Result rows streamed to wire clients.", m.Server.RowsSent.Value())
 	counter("silkroute_wire_server_bytes_sent_total", "Result payload bytes streamed to wire clients.", m.Server.BytesSent.Value())
 	counter("silkroute_wire_server_deadline_exceeded_total", "Wire requests abandoned at the server-side deadline.", m.Server.DeadlinesExceeded.Value())
 	gauge("silkroute_wire_server_inflight", "Wire requests currently executing on the server.", m.Server.InFlight.Value())
 	summary("silkroute_wire_server_request_seconds", "End-to-end wire request latency in seconds.", &m.Server.RequestSeconds)
+}
+
+// writeViewSeries renders the per-view HTTP series, one labeled sample per
+// registered view, in lexical name order so scrapes are diff-stable.
+func (m *Metrics) writeViewSeries(b *strings.Builder) {
+	type row struct {
+		name string
+		s    *ViewSeries
+	}
+	var rows []row
+	m.HTTP.EachView(func(name string, s *ViewSeries) { rows = append(rows, row{name, s}) })
+	if len(rows) == 0 {
+		return
+	}
+	emit := func(metric, typ, help string, v func(*ViewSeries) int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for _, r := range rows {
+			fmt.Fprintf(b, "%s{view=%q} %d\n", metric, r.name, v(r.s))
+		}
+	}
+	emit("silkroute_http_view_requests_total", "counter", "View requests admitted, per view.",
+		func(s *ViewSeries) int64 { return s.Requests.Value() })
+	emit("silkroute_http_view_errors_total", "counter", "View requests that failed after admission, per view.",
+		func(s *ViewSeries) int64 { return s.Errors.Value() })
+	emit("silkroute_http_view_bytes_total", "counter", "Response bytes streamed, per view.",
+		func(s *ViewSeries) int64 { return s.Bytes.Value() })
+	emit("silkroute_http_view_inflight", "gauge", "Responses currently streaming, per view.",
+		func(s *ViewSeries) int64 { return s.InFlight.Value() })
+	const lat = "silkroute_http_view_request_seconds"
+	fmt.Fprintf(b, "# HELP %s End-to-end view request latency in seconds, per view.\n# TYPE %s summary\n", lat, lat)
+	for _, r := range rows {
+		qs := r.s.Latency.Quantiles(0.5, 0.95, 0.99)
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			fmt.Fprintf(b, "%s{view=%q,quantile=%q} %g\n", lat, r.name, q, time.Duration(qs[i]).Seconds())
+		}
+		fmt.Fprintf(b, "%s_sum{view=%q} %g\n%s_count{view=%q} %d\n",
+			lat, r.name, time.Duration(r.s.Latency.Sum()).Seconds(), lat, r.name, r.s.Latency.Count())
+	}
 }
 
 // Handler returns an http.Handler serving /metrics (Prometheus text) and

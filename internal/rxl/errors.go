@@ -1,0 +1,43 @@
+package rxl
+
+import "fmt"
+
+// Error is a parse failure carrying the byte offset it occurred at, so
+// callers that know the enclosing file can rewrite it as file:line:col —
+// a view registry loading a directory of .rxl files must point at the
+// broken line, not merely name the file. Offset is -1 when the failure
+// has no position (e.g. an empty query).
+type Error struct {
+	Offset int
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	if e.Offset < 0 {
+		return "rxl: " + e.Msg
+	}
+	return fmt.Sprintf("rxl: offset %d: %s", e.Offset, e.Msg)
+}
+
+// errorAt builds a positioned parse error.
+func errorAt(offset int, format string, args ...any) *Error {
+	return &Error{Offset: offset, Msg: fmt.Sprintf(format, args...)}
+}
+
+// LineCol converts a byte offset into 1-based line and column numbers
+// within src. Offsets past the end report the final position.
+func LineCol(src string, offset int) (line, col int) {
+	line, col = 1, 1
+	if offset > len(src) {
+		offset = len(src)
+	}
+	for i := 0; i < offset; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

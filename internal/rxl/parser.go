@@ -1,7 +1,6 @@
 package rxl
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 	"unicode"
@@ -48,7 +47,7 @@ func (l *lexer) next() (token, error) {
 			l.pos++
 		}
 		if l.pos == start+1 {
-			return token{}, fmt.Errorf("rxl: bare '$' at offset %d", start)
+			return token{}, errorAt(start, "bare '$'")
 		}
 		return token{kind: tokVar, text: l.src[start+1 : l.pos], pos: start}, nil
 	case isIdentStart(c):
@@ -68,7 +67,7 @@ func (l *lexer) next() (token, error) {
 		var b strings.Builder
 		for {
 			if l.pos >= len(l.src) {
-				return token{}, fmt.Errorf("rxl: unterminated string at offset %d", start)
+				return token{}, errorAt(start, "unterminated string")
 			}
 			if l.src[l.pos] == quote {
 				l.pos++
@@ -100,7 +99,7 @@ func (l *lexer) next() (token, error) {
 		l.pos++
 		return token{kind: tokPunct, text: string(c), pos: start}, nil
 	default:
-		return token{}, fmt.Errorf("rxl: unexpected character %q at offset %d", c, start)
+		return token{}, errorAt(start, "unexpected character %q", c)
 	}
 }
 
@@ -141,7 +140,7 @@ func Parse(src string) (*Query, error) {
 		q.Blocks = append(q.Blocks, b)
 	}
 	if len(q.Blocks) == 0 {
-		return nil, fmt.Errorf("rxl: empty query")
+		return nil, &Error{Offset: -1, Msg: "empty query"}
 	}
 	return q, nil
 }
@@ -157,7 +156,7 @@ func (p *parser) advance() token {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("rxl: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+	return errorAt(p.peek().pos, format, args...)
 }
 
 func (p *parser) isKeyword(kw string) bool {

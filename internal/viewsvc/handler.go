@@ -1,0 +1,300 @@
+package viewsvc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"silkroute"
+	"silkroute/internal/obs"
+)
+
+// streamBufBytes is the coalescing buffer between the tagger and the HTTP
+// response: the tagger's many small writes become ~32 KiB chunks on the
+// wire, so a document streams incrementally (chunked transfer, no
+// full-document buffering) without per-element flush overhead.
+const streamBufBytes = 32 << 10
+
+// maxViewDefBytes bounds an admin-submitted view definition.
+const maxViewDefBytes = 1 << 20
+
+// handler is the per-request half of the service: routing, admission,
+// streaming, and the admin surface. It holds no state of its own — every
+// field it needs lives on the Server, so handler values are free to
+// construct per mux.
+type handler struct {
+	srv *Server
+}
+
+func (h *handler) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /views", h.listViews)
+	mux.HandleFunc("GET /views/{name}", h.serveView)
+	mux.HandleFunc("GET /views/{name}/explain", h.explainView)
+	if h.srv.cfg.Admin {
+		mux.HandleFunc("PUT /views/{name}", h.putView)
+		mux.HandleFunc("DELETE /views/{name}", h.deleteView)
+	}
+	mux.HandleFunc("GET /sessions", h.listSessions)
+	// The observability endpoints ride the same mux (and therefore the
+	// same listener, drain, and port) as the data plane.
+	omux := obs.Handler()
+	mux.Handle("GET /metrics", omux)
+	mux.Handle("GET /healthz", omux)
+	return mux
+}
+
+// reject answers a request the admission semaphore refused: 503 with a
+// Retry-After hint, so well-behaved clients back off instead of hammering.
+func (h *handler) reject(w http.ResponseWriter) {
+	obs.M().HTTPReject()
+	secs := int(h.srv.cfg.Limits.retryAfter().Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "server saturated: concurrent stream limit reached", http.StatusServiceUnavailable)
+}
+
+// serveView streams one materialization. The response is chunked: bytes
+// leave as the tagger emits them, and a failure after the first byte
+// aborts the connection outright (http.ErrAbortHandler) — the client sees
+// a transport error, never a syntactically plausible truncated document.
+func (h *handler) serveView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	handle, brokenErr, found := h.srv.cfg.Registry.Lookup(name)
+	if !found {
+		http.Error(w, fmt.Sprintf("unknown view %q", name), http.StatusNotFound)
+		return
+	}
+	if brokenErr != nil {
+		// The view is registered but its definition does not compile: that
+		// one name is down, the rest of the registry serves normally.
+		http.Error(w, "view unavailable: "+brokenErr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	strat := handle.Strategy()
+	if q := r.URL.Query().Get("strategy"); q != "" {
+		var err error
+		if strat, err = silkroute.ParseStrategy(q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Admission control: a bounded semaphore, not a queue. A saturated
+	// server says so immediately; the client owns the backoff.
+	select {
+	case h.srv.sem <- struct{}{}:
+	default:
+		h.reject(w)
+		return
+	}
+	defer func() { <-h.srv.sem }()
+
+	sess := h.srv.sessions.open(name, strat.String(), r.RemoteAddr)
+	obs.M().HTTPSessionOpen()
+	defer func() {
+		h.srv.sessions.close(sess)
+		if h.srv.cfg.Hooks.SessionClosed != nil {
+			h.srv.cfg.Hooks.SessionClosed(sess)
+		}
+	}()
+
+	ctx := r.Context()
+	limits := h.srv.cfg.Limits
+	if limits.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, limits.RequestTimeout)
+		defer cancel()
+		// The context stops planning and query execution; the write
+		// deadline stops a stream stalled on a dead or glacial client,
+		// which a context alone cannot interrupt mid-Write.
+		rc := http.NewResponseController(w)
+		rc.SetWriteDeadline(time.Now().Add(limits.RequestTimeout))
+	}
+
+	if h.srv.cfg.Hooks.StreamStarted != nil {
+		h.srv.cfg.Hooks.StreamStarted(sess)
+	}
+	obs.M().HTTPRequestStart(name)
+	start := time.Now()
+
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("Silkroute-View", name)
+	w.Header().Set("Silkroute-Strategy", strat.String())
+
+	out := &limitWriter{w: &flushWriter{w: w}, limit: limits.MaxResponseBytes}
+	bw := bufio.NewWriterSize(out, streamBufBytes)
+	_, err := handle.View().Materialize(ctx, bw, strat)
+	if err == nil {
+		err = bw.Flush()
+	}
+	obs.M().HTTPRequestEnd(name, time.Since(start), out.n, err != nil)
+	if err == nil {
+		return
+	}
+	if out.n > 0 {
+		// Fail closed mid-stream: kill the connection rather than finish
+		// the chunked encoding around a truncated document.
+		panic(http.ErrAbortHandler)
+	}
+	if limits.RequestTimeout > 0 {
+		// The expired write deadline would otherwise kill the error
+		// response too; clear it — the status line is the whole point.
+		http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	}
+	switch {
+	case errors.Is(err, silkroute.ErrUnsupportedPlan):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// explainView reports the plan a strategy would run for a view — edge
+// sets and per-stream SQL — without executing any query.
+func (h *handler) explainView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	handle, brokenErr, found := h.srv.cfg.Registry.Lookup(name)
+	if !found {
+		http.Error(w, fmt.Sprintf("unknown view %q", name), http.StatusNotFound)
+		return
+	}
+	if brokenErr != nil {
+		http.Error(w, "view unavailable: "+brokenErr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	strat := handle.Strategy()
+	if q := r.URL.Query().Get("strategy"); q != "" {
+		var err error
+		if strat, err = silkroute.ParseStrategy(q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	e, err := handle.View().Explain(r.Context(), strat)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, e.String())
+}
+
+// listViews reports every registry entry as JSON.
+func (h *handler) listViews(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.srv.cfg.Registry.Views())
+}
+
+// listSessions reports the live sessions as JSON, in admission order.
+func (h *handler) listSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.srv.sessions.snapshot())
+}
+
+// putView registers (or replaces) a view from the request body's RXL
+// source. A definition that fails to compile answers 400 with a
+// line:column diagnostic and registers nothing.
+func (h *handler) putView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if h.srv.cfg.Backend == nil {
+		http.Error(w, "admin registration not configured (no backend)", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxViewDefBytes))
+	if err != nil {
+		http.Error(w, "read view definition: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	src := string(body)
+	opts := h.srv.cfg.Options
+	if q := r.URL.Query().Get("strategy"); q != "" {
+		strat, err := silkroute.ParseStrategy(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts = append(append([]silkroute.Option(nil), opts...), silkroute.WithStrategy(strat))
+	}
+	handle, err := Compile(name, h.srv.cfg.Backend, src, opts...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	_, _, existed := h.srv.cfg.Registry.Lookup(name)
+	h.srv.cfg.Registry.Register(name, handle, src, "admin")
+	if existed {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+	fmt.Fprintf(w, "view %s registered (strategy %s)\n", name, handle.Strategy())
+}
+
+// deleteView removes a view from the registry.
+func (h *handler) deleteView(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !h.srv.cfg.Registry.Remove(name) {
+		http.Error(w, fmt.Sprintf("unknown view %q", name), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// flushWriter pushes each chunk to the client as soon as it is written:
+// the ResponseWriter's own buffering plus the bufio coalescer above it
+// decide chunk size; this layer only guarantees forward progress.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+	// probed defers the Flusher type-assert until the first write.
+	probed bool
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if !fw.probed {
+		fw.f, _ = fw.w.(http.Flusher)
+		fw.probed = true
+	}
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// errResponseTooLarge aborts a stream past Limits.MaxResponseBytes.
+var errResponseTooLarge = errors.New("viewsvc: response exceeds byte limit")
+
+// limitWriter counts bytes through and fails the stream when the byte
+// budget is exceeded. The error unwinds the materialization, and the
+// handler's fail-closed path kills the connection.
+type limitWriter struct {
+	w     io.Writer
+	n     int64
+	limit int64 // <= 0 means unlimited
+}
+
+func (lw *limitWriter) Write(p []byte) (int, error) {
+	if lw.limit > 0 && lw.n+int64(len(p)) > lw.limit {
+		return 0, errResponseTooLarge
+	}
+	n, err := lw.w.Write(p)
+	lw.n += int64(n)
+	return n, err
+}

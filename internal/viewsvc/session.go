@@ -1,0 +1,74 @@
+package viewsvc
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Session is one admitted request's identity, from the moment it passes
+// admission control until its last byte is written (or its stream aborts).
+// The table of live sessions is what graceful drain accounts against and
+// what /sessions exposes for operators.
+type Session struct {
+	ID         uint64    `json:"id"`
+	View       string    `json:"view"`
+	Strategy   string    `json:"strategy"`
+	RemoteAddr string    `json:"remote_addr"`
+	Started    time.Time `json:"started"`
+}
+
+// sessionTable tracks live sessions. It is deliberately tiny: an ID
+// counter and a map under one mutex — admission is already throttled by
+// the semaphore, so this lock sees at most MaxConcurrent writers.
+type sessionTable struct {
+	mu   sync.Mutex
+	next uint64
+	live map[uint64]*Session
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{live: make(map[uint64]*Session)}
+}
+
+// open registers a new live session.
+func (t *sessionTable) open(view, strategy, remoteAddr string) *Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	s := &Session{
+		ID:         t.next,
+		View:       view,
+		Strategy:   strategy,
+		RemoteAddr: remoteAddr,
+		Started:    time.Now(),
+	}
+	t.live[s.ID] = s
+	return s
+}
+
+// close removes a session from the live table.
+func (t *sessionTable) close(s *Session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.live, s.ID)
+}
+
+// snapshot returns the live sessions ordered by ID (admission order).
+func (t *sessionTable) snapshot() []Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Session, 0, len(t.live))
+	for _, s := range t.live {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// count reports how many sessions are live.
+func (t *sessionTable) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live)
+}

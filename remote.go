@@ -2,6 +2,7 @@ package silkroute
 
 import (
 	"context"
+	"errors"
 	"net"
 	"sync"
 
@@ -29,26 +30,79 @@ func tpchSchemaForRemote() *schema.Schema { return tpch.Schema() }
 type Remote struct {
 	client wire.Backend
 
+	// source is the source description attached with WithSource; nil until
+	// one is provided. NewHandle compiles views against it.
+	source *Schema
+
 	cacheMu sync.Mutex
 	plans   *plancache.Cache
 	frags   *fragcache.Cache
 }
 
+// Dial is the single constructor behind every remote connection shape. The
+// endpoint comes from the options: WithAddrs(one) dials a single server,
+// WithAddrs(several) builds a replica set with health-weighted balancing
+// and cross-replica failover, and WithDialer substitutes a custom
+// transport. The same option list also carries the connection policy
+// (retry, pool, timeouts, resume, breaker, failover, hedging) and the
+// source description (WithSource), so a server's per-backend config maps
+// 1:1 onto one option slice.
+//
+// ConnectTCP, ConnectReplicas, and ConnectFunc remain as thin documented
+// wrappers over Dial for code written against the older constructors.
+func Dial(opts ...Option) (*Remote, error) {
+	c := buildConfig(opts)
+	r := &Remote{source: c.source}
+	switch {
+	case c.dialer != nil && len(c.addrs) > 0:
+		return nil, errors.New("silkroute: Dial: WithDialer and WithAddrs are mutually exclusive")
+	case c.dialer != nil:
+		r.client = wire.NewClient(c.dialer, c.clientOptions()...)
+	case len(c.addrs) == 1:
+		r.client = wire.Dial(c.addrs[0], c.clientOptions()...)
+	case len(c.addrs) > 1:
+		clients := make([]*wire.Client, len(c.addrs))
+		for i, a := range c.addrs {
+			clients[i] = wire.Dial(a, c.clientOptions()...)
+		}
+		r.client = wire.NewReplicaSet(clients, c.replicaOptions(c.addrs)...)
+	default:
+		return nil, errors.New("silkroute: Dial: no endpoint — pass WithAddrs or WithDialer")
+	}
+	return r, nil
+}
+
 // ConnectTCP returns a remote database handle for the given address.
 // Connections are dialed on demand — honoring the materialize context's
 // deadline — pooled, and reused across queries and estimate requests.
+//
+// It is a wrapper for Dial(WithAddrs(addr), opts...), kept as a documented
+// alias for one release.
 func ConnectTCP(addr string, opts ...Option) *Remote {
-	return &Remote{client: wire.Dial(addr, buildConfig(opts).clientOptions()...)}
+	r, err := Dial(append([]Option{WithAddrs(addr)}, opts...)...)
+	if err != nil {
+		// Unreachable unless the option list smuggles in a dialer; that
+		// misuse deserves the same loud failure ConnectReplicas gives.
+		panic(err)
+	}
+	return r
 }
 
 // ConnectFunc returns a remote database handle using a custom dialer. The
 // dialer is called whenever the pool has no idle connection; a dialer that
 // can block should keep its own timeout, as it is not handed the request
 // context.
+//
+// It is a wrapper for Dial(WithDialer(...), opts...), kept as a documented
+// alias for one release.
 func ConnectFunc(dial func() (net.Conn, error), opts ...Option) *Remote {
-	return &Remote{client: wire.NewClient(
-		func(context.Context) (net.Conn, error) { return dial() },
-		buildConfig(opts).clientOptions()...)}
+	r, err := Dial(append([]Option{
+		WithDialer(func(context.Context) (net.Conn, error) { return dial() }),
+	}, opts...)...)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // ConnectReplicas returns a remote database handle over N replica
@@ -60,19 +114,18 @@ func ConnectFunc(dial func() (net.Conn, error), opts ...Option) *Remote {
 // replica, splicing the continuation in byte-identically (see
 // WithFailover). When every replica is open-circuit, requests fail closed
 // with ErrNoHealthyReplica. A single address behaves like ConnectTCP.
+//
+// It is a wrapper for Dial(WithAddrs(addrs...), opts...), kept as a
+// documented alias for one release.
 func ConnectReplicas(addrs []string, opts ...Option) *Remote {
 	if len(addrs) == 0 {
 		panic("silkroute: ConnectReplicas needs at least one address")
 	}
-	c := buildConfig(opts)
-	if len(addrs) == 1 {
-		return &Remote{client: wire.Dial(addrs[0], c.clientOptions()...)}
+	r, err := Dial(append([]Option{WithAddrs(addrs...)}, opts...)...)
+	if err != nil {
+		panic(err)
 	}
-	clients := make([]*wire.Client, len(addrs))
-	for i, a := range addrs {
-		clients[i] = wire.Dial(a, c.clientOptions()...)
-	}
-	return &Remote{client: wire.NewReplicaSet(clients, c.replicaOptions(addrs)...)}
+	return r
 }
 
 // Close releases the connection pool. In-flight requests finish on their
@@ -86,8 +139,14 @@ func (r *Remote) IdleConns() int { return r.client.IdleConns() }
 // ParseRemoteView compiles an RXL view against a remote database. The
 // schema is the *source description* the paper's middleware keeps locally:
 // relations, keys, and the foreign-key totality constraints that drive
-// edge labeling — the data itself stays on the server.
+// edge labeling — the data itself stays on the server. A nil schema falls
+// back to the connection's WithSource description.
 func ParseRemoteView(r *Remote, s *Schema, src string, opts ...Option) (*View, error) {
+	if s == nil {
+		if s = r.source; s == nil {
+			return nil, errors.New("silkroute: ParseRemoteView: no source description — pass a schema or dial with WithSource")
+		}
+	}
 	q, err := rxl.Parse(src)
 	if err != nil {
 		return nil, err
@@ -96,7 +155,7 @@ func ParseRemoteView(r *Remote, s *Schema, src string, opts ...Option) (*View, e
 	if err != nil {
 		return nil, err
 	}
-	v := &View{remote: r, tree: tree, Wrapper: "document", Reduce: true}
+	v := &View{remote: r, tree: tree, wrapper: "document", reduce: true}
 	buildConfig(opts).apply(v)
 	return v, nil
 }

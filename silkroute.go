@@ -75,6 +75,12 @@ type config struct {
 	reduceSet   bool
 	parallelism int
 	parSet      bool
+	strategy    Strategy
+	strategySet bool
+
+	addrs  []string
+	dialer func(context.Context) (net.Conn, error)
+	source *Schema
 
 	planCache bool
 	fragBytes int64
@@ -116,6 +122,38 @@ func WithReduce(on bool) Option {
 // are identical at every setting. View option.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism, c.parSet = n, true }
+}
+
+// WithStrategy sets the plan strategy a Handle serves by default (clients
+// of a view service may still override it per request). Default Greedy.
+// Handle option; ignored by plain views, whose Materialize takes the
+// strategy explicitly.
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.strategy, c.strategySet = s, true }
+}
+
+// WithAddrs sets the endpoint(s) a Dial connects to: one address is a
+// single remote database, several are replicas of the same data behind a
+// health-weighted balancer with cross-replica failover (see WithFailover).
+// Connection option.
+func WithAddrs(addrs ...string) Option {
+	return func(c *config) { c.addrs = append(c.addrs, addrs...) }
+}
+
+// WithDialer sets a custom dialer for Dial, replacing TCP to a WithAddrs
+// endpoint — for tests over in-memory pipes, or transports with their own
+// handshake. Mutually exclusive with WithAddrs. Connection option.
+func WithDialer(dial func(ctx context.Context) (net.Conn, error)) Option {
+	return func(c *config) { c.dialer = dial }
+}
+
+// WithSource attaches the source description — the schema of the remote
+// database: relations, keys, and the foreign-key totality constraints that
+// drive edge labeling — to a connection, so views can be compiled against
+// it without restating the schema per view (NewHandle relies on this; the
+// data itself stays on the server). Connection option.
+func WithSource(s *Schema) Option {
+	return func(c *config) { c.source = s }
 }
 
 // WithRetry sets the retry policy for dial-time and transient pre-stream
@@ -224,13 +262,13 @@ func (c *config) replicaOptions(names []string) []wire.ReplicaOption {
 // backend shares one cache and one invalidation domain.
 func (c *config) apply(v *View) {
 	if c.wrapperSet {
-		v.Wrapper = c.wrapper
+		v.wrapper = c.wrapper
 	}
 	if c.reduceSet {
-		v.Reduce = c.reduce
+		v.reduce = c.reduce
 	}
 	if c.parSet {
-		v.Parallelism = c.parallelism
+		v.parallelism = c.parallelism
 	}
 	if c.planCache {
 		if v.remote != nil {
@@ -539,31 +577,24 @@ func editDistance(a, b string) int {
 }
 
 // View is a compiled RXL view bound to a database (local or remote).
-// Configure it with Options at parse time; the exported fields remain as
-// deprecated shims for code written against the struct-field style.
+// Configuration happens exclusively through Options at construction time
+// (WithWrapper, WithReduce, WithParallelism, ...); the struct-field shims
+// that once mirrored them are gone per the DESIGN.md §8 removal schedule.
 type View struct {
 	db     *DB
 	remote *Remote
 	tree   *viewtree.Tree
-	// Wrapper is the document element wrapped around the view's output;
-	// "" emits a bare element sequence.
-	//
-	// Deprecated: pass WithWrapper to ParseView / ParseRemoteView instead.
-	Wrapper string
-	// Reduce applies view-tree reduction (§3.5). On by default; reduction
-	// alone speeds plans up ~2.5× in the paper's measurements.
-	//
-	// Deprecated: pass WithReduce to ParseView / ParseRemoteView instead.
-	Reduce bool
-	// Parallelism bounds how many partition queries run concurrently when
+	// wrapper is the document element wrapped around the view's output;
+	// "" emits a bare element sequence. Set with WithWrapper.
+	wrapper string
+	// reduce applies view-tree reduction (§3.5). On by default; set with
+	// WithReduce.
+	reduce bool
+	// parallelism bounds how many partition queries run concurrently when
 	// the view materializes against a local database, and how many
-	// candidate queries the Greedy planner costs at once. 0 (the default)
-	// means one worker per CPU; 1 forces strictly serial execution. The
-	// document and the planner's choices are identical at every setting.
-	//
-	// Deprecated: pass WithParallelism to ParseView / ParseRemoteView
-	// instead.
-	Parallelism int
+	// candidate queries the Greedy planner costs at once. Set with
+	// WithParallelism.
+	parallelism int
 
 	// plans and frags are the backend's shared caches; nil unless the view
 	// was built with WithPlanCache / WithFragmentCache.
@@ -581,7 +612,7 @@ func ParseView(db *DB, src string, opts ...Option) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := &View{db: db, tree: tree, Wrapper: "document", Reduce: true}
+	v := &View{db: db, tree: tree, wrapper: "document", reduce: true}
 	buildConfig(opts).apply(v)
 	return v, nil
 }
@@ -680,7 +711,7 @@ func (v *View) MaterializePlan(ctx context.Context, w io.Writer, keepBits uint64
 	if rep, served, err := v.serveCached(ctx, w, Unified); served {
 		return rep, err
 	}
-	p := plan.FromBits(v.tree, keepBits, v.Reduce)
+	p := plan.FromBits(v.tree, keepBits, v.reduce)
 	return v.execute(ctx, w, p, &Report{Strategy: Unified})
 }
 
@@ -708,13 +739,13 @@ func (v *View) planCold(ctx context.Context, s Strategy) (*plan.Plan, *Report, e
 	}
 	switch s {
 	case Unified:
-		return checked(plan.Unified(v.tree, v.Reduce))
+		return checked(plan.Unified(v.tree, v.reduce))
 	case UnifiedCTE:
-		p := plan.Unified(v.tree, v.Reduce)
+		p := plan.Unified(v.tree, v.reduce)
 		p.Style = sqlgen.WithClause
 		return checked(p)
 	case OuterUnion:
-		return checked(plan.UnifiedOuterUnion(v.tree, v.Reduce))
+		return checked(plan.UnifiedOuterUnion(v.tree, v.reduce))
 	case FullyPartitioned:
 		return plan.FullyPartitioned(v.tree), rep, nil
 	case Greedy:
@@ -725,8 +756,8 @@ func (v *View) planCold(ctx context.Context, s Strategy) (*plan.Plan, *Report, e
 			v.db.ResetEstimateRequests()
 			oracle = v.db.eng
 		}
-		prm := plan.DefaultGreedyParams(v.Reduce)
-		prm.Parallelism = v.Parallelism
+		prm := plan.DefaultGreedyParams(v.reduce)
+		prm.Parallelism = v.parallelism
 		res, err := plan.Greedy(ctx, oracle, v.tree, prm)
 		if err != nil {
 			return nil, nil, err
@@ -764,8 +795,8 @@ func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Repo
 	for _, st := range streams {
 		rep.SQL = append(rep.SQL, st.SQL())
 	}
-	p.Wrapper = v.Wrapper
-	p.Parallelism = v.Parallelism
+	p.Wrapper = v.wrapper
+	p.Parallelism = v.parallelism
 
 	// Tee the output into fragment buffers when a fragment cache is on.
 	// The stamp is snapshotted BEFORE the queries run and revalidated at

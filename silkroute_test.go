@@ -92,7 +92,10 @@ func TestMaterializeParallelismKnob(t *testing.T) {
 	if _, err := v.Materialize(ctx, &serialBuf, FullyPartitioned); err != nil {
 		t.Fatal(err)
 	}
-	v.Parallelism = 4
+	v, err = ParseView(db, libraryView, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var parBuf bytes.Buffer
 	rep, err := v.Materialize(ctx, &parBuf, FullyPartitioned)
 	if err != nil {
@@ -185,11 +188,10 @@ func popcount(b uint64) int {
 
 func TestWrapperControl(t *testing.T) {
 	db := libraryDB(t)
-	v, err := ParseView(db, libraryView)
+	v, err := ParseView(db, libraryView, WithWrapper("library"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	v.Wrapper = "library"
 	var buf bytes.Buffer
 	if _, err := v.Materialize(ctx, &buf, Unified); err != nil {
 		t.Fatal(err)
@@ -197,7 +199,10 @@ func TestWrapperControl(t *testing.T) {
 	if !strings.HasPrefix(buf.String(), "<library>") {
 		t.Errorf("custom wrapper missing: %.40s", buf.String())
 	}
-	v.Wrapper = ""
+	v, err = ParseView(db, libraryView, WithWrapper(""))
+	if err != nil {
+		t.Fatal(err)
+	}
 	buf.Reset()
 	if _, err := v.Materialize(ctx, &buf, Unified); err != nil {
 		t.Fatal(err)
