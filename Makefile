@@ -2,7 +2,7 @@ GO ?= go
 # Pinned so CI and laptops run the same checker; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet staticcheck test test-race chaos replica-chaos cache-check bench-smoke bench-json loadtest loadtest-smoke ci experiments
+.PHONY: all build vet staticcheck test test-race chaos replica-chaos shard-chaos cache-check bench-smoke bench-json loadtest loadtest-smoke ci experiments
 
 all: build
 
@@ -53,6 +53,16 @@ replica-chaos:
 		-run 'Replica|Failover|NoHealthy|HalfOpen|Hedge|FailsClosed|ProbeFailure|MultiSpec|SpecString' \
 		. ./internal/wire/ ./internal/chaos/
 
+# The sharding suite under the race detector: topology parsing, hash
+# partitioning, the k-way scatter-gather merge (global order, cross-shard
+# tie invariance, NULL keys), grid chaos specs, and the 1/2/4-shard ×
+# chaos-seed equivalence matrix with one shard replica hard-killed so the
+# per-shard resume + failover ladder heals underneath the merge.
+shard-chaos:
+	CHAOS_SEEDS="$(CHAOS_SEEDS)" $(GO) test -race -count=1 \
+		-run 'Shard|Topology|Scatter|GridSpec|Merge|Partition' \
+		. ./internal/wire/ ./internal/chaos/ ./internal/viewsvc/
+
 # The caching layer's correctness gate under the race detector: cached and
 # uncached materializations must be byte-identical across every strategy
 # family, base-table writes must always invalidate, a killed run must never
@@ -70,20 +80,21 @@ bench-smoke:
 		status=$$?; cat bench-smoke.txt; exit $$status
 
 # The core benchmarks (cache speedup, parallel execution, hash join, tagger
-# memory, wire transfer, replica failover) in machine-readable form: one
-# pass each, three samples, parsed by cmd/benchjson into BENCH_7.json —
-# committed at the repo root and archived by CI so later PRs can diff
-# ns/op, B/op, and allocs/op without scraping logs.
+# memory, wire transfer, replica failover, sharded scatter-gather) in
+# machine-readable form: one pass each, three samples, parsed by
+# cmd/benchjson into BENCH_9.json — committed at the repo root and archived
+# by CI so later PRs can diff ns/op, B/op, and allocs/op without scraping
+# logs.
 bench-json:
 	@$(GO) test $(GOFLAGS) -run '^$$' \
-		-bench 'MaterializeCached|TaggerConstantSpace|WireTransfer|ReplicaFailover' \
+		-bench 'MaterializeCached|TaggerConstantSpace|WireTransfer|ReplicaFailover|ShardedMaterialize' \
 		-benchtime 1x -count 3 . > bench-raw.txt 2>&1 && \
 	$(GO) test $(GOFLAGS) -run '^$$' -bench ParallelExecute -benchtime 1x -count 3 \
 		./internal/plan >> bench-raw.txt 2>&1 && \
 	$(GO) test $(GOFLAGS) -run '^$$' -bench HashJoin -benchtime 1x -count 3 \
 		./internal/sqlexec >> bench-raw.txt 2>&1; \
 	status=$$?; cat bench-raw.txt; \
-	if [ $$status -eq 0 ]; then $(GO) run ./cmd/benchjson -o BENCH_7.json bench-raw.txt; fi; \
+	if [ $$status -eq 0 ]; then $(GO) run ./cmd/benchjson -o BENCH_9.json bench-raw.txt; fi; \
 	rm -f bench-raw.txt; exit $$status
 
 # The view-service load test: N clients × M views against an in-process
@@ -99,7 +110,7 @@ loadtest:
 loadtest-smoke:
 	$(GO) run -race ./cmd/loadgen -clients 8 -rounds 2 -out loadtest-smoke.json
 
-ci: vet staticcheck build test-race chaos replica-chaos cache-check loadtest-smoke bench-smoke bench-json
+ci: vet staticcheck build test-race chaos replica-chaos shard-chaos cache-check loadtest-smoke bench-smoke bench-json
 
 experiments:
 	$(GO) run ./cmd/experiments

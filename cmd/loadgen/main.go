@@ -109,6 +109,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "TPC-H generator seed")
 	addr := flag.String("addr", "", "target an external silkrouted instead of in-process (skips saturation/drain)")
 	satConcurrent := flag.Int("sat-concurrent", 2, "admitted-stream cap for the saturation phase")
+	shards := flag.Int("shards", 1, "back the throughput phase with this many scatter-gather shards (partitioned by Supplier, served in-process)")
 	skipSaturate := flag.Bool("skip-saturate", false, "skip the saturation phase")
 	skipDrain := flag.Bool("skip-drain", false, "skip the SIGTERM drain phase")
 	out := flag.String("out", "", "write the JSON summary to this file")
@@ -136,8 +137,18 @@ func main() {
 		}
 	} else {
 		db := silkroute.OpenTPCH(*scale, *seed)
-		var err error
-		reg, goldens, err = buildRegistry(db)
+		// With -shards the served views evaluate over a scatter-gather
+		// topology of in-process partitions, while the goldens still come
+		// from a direct Materialize of the unpartitioned database — so the
+		// byte-compare doubles as a sharding equivalence check under load.
+		backend, cleanupShards, err := shardBackend(db, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		if cleanupShards != nil {
+			defer cleanupShards()
+		}
+		reg, goldens, err = buildRegistry(db, backend)
 		if err != nil {
 			fatal(err)
 		}
@@ -158,7 +169,7 @@ func main() {
 
 	if *addr == "" && !*skipSaturate {
 		db := silkroute.OpenTPCH(*scale, *seed)
-		r, g, err := buildRegistry(db)
+		r, g, err := buildRegistry(db, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -169,7 +180,7 @@ func main() {
 	}
 	if *addr == "" && !*skipDrain {
 		db := silkroute.OpenTPCH(*scale, *seed)
-		r, g, err := buildRegistry(db)
+		r, g, err := buildRegistry(db, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -194,10 +205,13 @@ func main() {
 	}
 }
 
-// buildRegistry registers the built-in views against db and computes the
-// direct-Materialize golden document for each — the byte-exact reference
-// every HTTP response is judged against.
-func buildRegistry(db *silkroute.DB) (*viewsvc.Registry, map[string][]byte, error) {
+// buildRegistry registers the built-in views and computes each one's
+// direct-Materialize golden document — the byte-exact reference every HTTP
+// response is judged against. Goldens always come from db directly; with a
+// non-nil backend (a sharded topology) the *served* handles compile
+// against it instead, so responses additionally prove scatter-gather
+// equivalence.
+func buildRegistry(db *silkroute.DB, backend silkroute.Backend) (*viewsvc.Registry, map[string][]byte, error) {
 	reg := viewsvc.NewRegistry()
 	goldens := make(map[string][]byte, len(builtinViews))
 	for _, bv := range builtinViews {
@@ -205,14 +219,66 @@ func buildRegistry(db *silkroute.DB) (*viewsvc.Registry, map[string][]byte, erro
 		if err != nil {
 			return nil, nil, err
 		}
-		reg.Register(bv.name, h, bv.src, "loadgen")
 		var buf bytes.Buffer
 		if _, err := h.Materialize(context.Background(), &buf); err != nil {
 			return nil, nil, fmt.Errorf("golden for %s: %w", bv.name, err)
 		}
 		goldens[bv.name] = buf.Bytes()
+		if backend != nil {
+			h, err = viewsvc.Compile(bv.name, backend, bv.src, silkroute.WithStrategy(bv.strategy))
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		reg.Register(bv.name, h, bv.src, "loadgen")
 	}
 	return reg, goldens, nil
+}
+
+// shardBackend partitions db into n shards (Supplier rows split by key
+// hash, everything else replicated), serves each partition on a loopback
+// wire listener, and dials the sharded topology. n <= 1 returns a nil
+// backend: views evaluate directly against db.
+func shardBackend(db *silkroute.DB, n int) (silkroute.Backend, func(), error) {
+	if n <= 1 {
+		return nil, nil, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	parts := make([]silkroute.Topology, n)
+	for i := 0; i < n; i++ {
+		shard, err := db.Partition("Supplier", i, n)
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, nil, err
+		}
+		wg.Add(1)
+		go func(shard *silkroute.DB, l net.Listener) {
+			defer wg.Done()
+			shard.ServeContext(ctx, l)
+		}(shard, l)
+		parts[i] = silkroute.Single(l.Addr().String())
+	}
+	r, err := silkroute.Dial(silkroute.Sharded(parts...),
+		silkroute.WithSource(silkroute.TPCHSourceDescription()))
+	if err != nil {
+		cancel()
+		wg.Wait()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		r.Close()
+		cancel()
+		wg.Wait()
+	}
+	return r, cleanup, nil
 }
 
 // startServer launches a viewsvc server on a loopback port and returns its

@@ -15,6 +15,8 @@
 //	silkroute -view myview.rxl -data ./tpch-data -strategy unified -explain
 //	silkroute -serve :7070 -scale 0.01            # database server
 //	silkroute -connect host:7070 -query q1        # remote middleware
+//	silkroute -serve :7070 -shard 0/2             # partition 0 of 2
+//	silkroute -shards "s0=a:7070;s1=b:7070" -query q1   # scatter-gather
 package main
 
 import (
@@ -49,6 +51,9 @@ func main() {
 	serve := flag.String("serve", "", "run as a database server on this address instead of materializing")
 	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
 	replicas := flag.String("replicas", "", "comma-separated replica addresses, e.g. a:7070,b:7070,c:7070 (balanced, failover with -resume)")
+	shards := flag.String("shards", "", `topology string, e.g. "s0=a:7070;s1=b:7070" (shards of replica groups, scatter-gather merged)`)
+	shardOf := flag.String("shard", "", "with -serve: serve partition i of n as \"i/n\" (see -shard-by)")
+	shardBy := flag.String("shard-by", "Supplier", "with -shard: relation partitioned by primary-key hash; all others replicated")
 	failover := flag.Int("failover", 0, "cross-replica failovers per stream after resume gives up (0 = replicas-1 default)")
 	hedge := flag.Duration("hedge", 0, "race a second replica when the first has not answered within this delay (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (enables observability)")
@@ -76,6 +81,18 @@ func main() {
 
 	if *serve != "" {
 		db := loadDB(*scale, *seed, *data)
+		if *shardOf != "" {
+			var i, n int
+			if _, err := fmt.Sscanf(*shardOf, "%d/%d", &i, &n); err != nil {
+				fatal(fmt.Errorf("bad -shard %q: want i/n", *shardOf))
+			}
+			shard, err := db.Partition(*shardBy, i, n)
+			if err != nil {
+				fatal(err)
+			}
+			db = shard
+			fmt.Fprintf(os.Stderr, "silkroute: serving shard %d of %d (partitioned by %s)\n", i, n, *shardBy)
+		}
 		l, err := net.Listen("tcp", *serve)
 		if err != nil {
 			fatal(err)
@@ -127,7 +144,21 @@ func main() {
 	}
 
 	var view *silkroute.View
-	if *replicas != "" {
+	if *shards != "" {
+		// Sharded middleware mode: each ";"-separated segment is one
+		// partition's replica group; every stream scatters to all shards and
+		// the sorted partials are k-way merged back on the structural key.
+		topo, terr := silkroute.ParseTopology(*shards)
+		if terr != nil {
+			fatal(terr)
+		}
+		remote, derr := silkroute.Dial(topo, opts...)
+		if derr != nil {
+			fatal(derr)
+		}
+		defer remote.Close()
+		view, err = silkroute.ParseRemoteView(remote, silkroute.TPCHSourceDescription(), src, opts...)
+	} else if *replicas != "" {
 		// Replicated middleware mode: N -serve endpoints of the same data,
 		// health-balanced per stream, with cross-replica failover when
 		// -resume is on.
@@ -224,6 +255,16 @@ func main() {
 				fmt.Fprintf(os.Stderr, " replica=%d", st.Replica)
 			}
 			fmt.Fprintln(os.Stderr)
+			for _, ss := range st.Shards {
+				fmt.Fprintf(os.Stderr, "    shard %d: rows=%d bytes=%d", ss.Shard, ss.Rows, ss.Bytes)
+				if ss.Resumes > 0 {
+					fmt.Fprintf(os.Stderr, " resumes=%d", ss.Resumes)
+				}
+				if ss.Failovers > 0 {
+					fmt.Fprintf(os.Stderr, " failovers=%d", ss.Failovers)
+				}
+				fmt.Fprintf(os.Stderr, " replica=%d\n", ss.Replica)
+			}
 		}
 	}
 }

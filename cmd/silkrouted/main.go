@@ -24,9 +24,10 @@
 // streams finish (never truncated), new requests are refused.
 //
 // The backend is the built-in TPC-H generator (-scale/-seed), a CSV
-// directory (-data), one remote silkroute -serve database (-connect), or
-// a replica set (-replicas) — all through the facade's unified Dial
-// options, so every connection policy flag maps onto one option list.
+// directory (-data), one remote silkroute -serve database (-connect), a
+// replica set (-replicas), or a sharded topology (-shards) — all through
+// the facade's unified Dial(topology) entry point, so every connection
+// policy flag maps onto one option list.
 //
 // Usage:
 //
@@ -34,6 +35,7 @@
 //	silkrouted -addr :8344 -views ./views -data ./tpch   # view files over CSVs
 //	silkrouted -connect db:7070 -builtin                 # remote backend
 //	silkrouted -replicas a:7070,b:7070 -resume 3 -builtin
+//	silkrouted -shards "s0=a:7070;s1=b:7070" -builtin    # scatter-gather
 //	curl -N localhost:8344/views/q1
 package main
 
@@ -65,6 +67,7 @@ func main() {
 	data := flag.String("data", "", "directory of <Relation>.csv files (instead of generating)")
 	connect := flag.String("connect", "", "evaluate against a remote silkroute -serve database at this address")
 	replicas := flag.String("replicas", "", "comma-separated replica addresses (balanced, failover with -resume)")
+	shards := flag.String("shards", "", `backend topology string, e.g. "s0=a,b;s1=c,d" (shards of replica groups, scatter-gather merged)`)
 	maxConcurrent := flag.Int("max-concurrent", viewsvc.DefaultMaxConcurrent, "concurrent materializations admitted; beyond it 503 + Retry-After")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline, admission through last byte (0 = none)")
 	maxBytes := flag.Int64("max-bytes", 0, "abort responses past this many bytes, fail-closed (0 = none)")
@@ -113,23 +116,33 @@ func main() {
 		opts = append(opts, silkroute.WithHedge(*hedge))
 	}
 
-	var backend silkroute.Backend
+	// The daemon always serves /metrics, so enable the sink before the
+	// backend dial — construction-time gauges (shards, replicas) record
+	// as the topology is built.
+	obs.Enable()
+
+	// Remote shapes declare a topology and share the rest of the flow; the
+	// source description rides along so sidecar-topology views (see
+	// viewsvc.LoadDir) can compile even when the default backend is local.
+	opts = append(opts, silkroute.WithSource(silkroute.TPCHSourceDescription()))
+	var topo silkroute.Topology
 	switch {
-	case *replicas != "":
-		opts = append(opts,
-			silkroute.WithAddrs(strings.Split(*replicas, ",")...),
-			silkroute.WithSource(silkroute.TPCHSourceDescription()))
-		r, err := silkroute.Dial(opts...)
+	case *shards != "":
+		t, err := silkroute.ParseTopology(*shards)
 		if err != nil {
 			fatal(err)
 		}
-		defer r.Close()
-		backend = r
+		topo = t
+	case *replicas != "":
+		topo = silkroute.Replicas(strings.Split(*replicas, ",")...)
 	case *connect != "":
-		opts = append(opts,
-			silkroute.WithAddrs(*connect),
-			silkroute.WithSource(silkroute.TPCHSourceDescription()))
-		r, err := silkroute.Dial(opts...)
+		topo = silkroute.Single(*connect)
+	}
+
+	var backend silkroute.Backend
+	switch {
+	case !topo.IsZero():
+		r, err := silkroute.Dial(topo, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -187,7 +200,6 @@ func main() {
 		Options: opts,
 	})
 
-	obs.Enable()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

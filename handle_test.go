@@ -54,12 +54,18 @@ func TestHandleStrategyOption(t *testing.T) {
 }
 
 func TestDialRejectsBadEndpointConfigs(t *testing.T) {
-	if _, err := Dial(); err == nil {
-		t.Error("Dial() with no endpoint succeeded")
+	if _, err := Dial(Topology{}); err == nil {
+		t.Error("Dial(Topology{}) with no endpoint succeeded")
 	}
 	dialer := func(context.Context) (net.Conn, error) { return nil, nil }
-	if _, err := Dial(WithAddrs("x:1"), WithDialer(dialer)); err == nil {
+	if _, err := Dial(Topology{}, WithAddrs("x:1"), WithDialer(dialer)); err == nil {
 		t.Error("Dial with both WithAddrs and WithDialer succeeded")
+	}
+	if _, err := Dial(Single("x:1"), WithAddrs("y:1")); err == nil {
+		t.Error("Dial with both a topology and WithAddrs succeeded")
+	}
+	if _, err := Dial(Single("x:1"), WithDialer(dialer)); err == nil {
+		t.Error("Dial with both a topology and WithDialer succeeded")
 	}
 }
 
@@ -95,7 +101,7 @@ func TestDialSingleAndReplicas(t *testing.T) {
 		{"single", []string{listeners[0].Addr().String()}},
 		{"replicas", []string{listeners[0].Addr().String(), listeners[1].Addr().String()}},
 	} {
-		r, err := Dial(WithAddrs(tc.addrs...), WithSource(tpchSourceDescription(t)))
+		r, err := Dial(Replicas(tc.addrs...), WithSource(tpchSourceDescription(t)))
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -126,7 +132,7 @@ func TestRemoteParseRequiresSomeSource(t *testing.T) {
 	defer l.Close()
 	go OpenTPCH(0, 42).Serve(l)
 
-	r, err := Dial(WithAddrs(l.Addr().String()))
+	r, err := Dial(Single(l.Addr().String()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -208,6 +208,88 @@ func ParseMultiSpec(s string, n int) ([]Spec, error) {
 	return specs, nil
 }
 
+// ParseGridSpec parses per-cell fault specs for a shards × replicas grid:
+// counts[i] is shard i's replica count. Segments are semicolon-separated,
+// each addressing one coordinate level:
+//
+//	"cutrow=5"            default: every replica of every shard
+//	"1:cutrow=5"          every replica of shard 1
+//	"0.1:kills=100"       shard 0, replica 1 only
+//
+// More specific segments win (cell over shard over default); later
+// segments of equal specificity override earlier ones. The addressing
+// round-trips: "i.j:" + Spec.String() re-parses to the same cell.
+func ParseGridSpec(s string, counts []int) ([][]Spec, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("chaos: grid spec needs at least one shard")
+	}
+	var def Spec
+	shard := make([]Spec, len(counts))
+	ownShard := make([]bool, len(counts))
+	cell := make([][]Spec, len(counts))
+	ownCell := make([][]bool, len(counts))
+	for i, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("chaos: grid spec shard %d needs > 0 replicas, got %d", i, c)
+		}
+		cell[i] = make([]Spec, c)
+		ownCell[i] = make([]bool, c)
+	}
+	for _, seg := range strings.Split(s, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		head, rest, ok := strings.Cut(seg, ":")
+		if !ok {
+			sp, err := ParseSpec(seg)
+			if err != nil {
+				return nil, err
+			}
+			def = sp
+			continue
+		}
+		head = strings.TrimSpace(head)
+		si, sj, dotted := strings.Cut(head, ".")
+		i, err := strconv.Atoi(strings.TrimSpace(si))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: grid spec segment %q: bad shard index: %v", seg, err)
+		}
+		if i < 0 || i >= len(counts) {
+			return nil, fmt.Errorf("chaos: grid spec segment %q: shard %d out of range [0,%d)", seg, i, len(counts))
+		}
+		sp, err := ParseSpec(rest)
+		if err != nil {
+			return nil, err
+		}
+		if !dotted {
+			shard[i], ownShard[i] = sp, true
+			continue
+		}
+		j, err := strconv.Atoi(strings.TrimSpace(sj))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: grid spec segment %q: bad replica index: %v", seg, err)
+		}
+		if j < 0 || j >= counts[i] {
+			return nil, fmt.Errorf("chaos: grid spec segment %q: replica %d out of range [0,%d) of shard %d", seg, j, counts[i], i)
+		}
+		cell[i][j], ownCell[i][j] = sp, true
+	}
+	for i := range cell {
+		for j := range cell[i] {
+			if ownCell[i][j] {
+				continue
+			}
+			if ownShard[i] {
+				cell[i][j] = shard[i]
+			} else {
+				cell[i][j] = def
+			}
+		}
+	}
+	return cell, nil
+}
+
 // Injector applies one Spec. It is safe for concurrent use; one Injector
 // may wrap any number of dialers, listeners, and servers.
 type Injector struct {

@@ -263,6 +263,15 @@ type ClientMetrics struct {
 	// ReplicasHealthy is how many replicas the balancer currently
 	// considers usable (breaker closed or probing).
 	ReplicasHealthy Gauge
+	// Shards is the configured shard count of the most recent ShardSet
+	// (0 when running unsharded).
+	Shards Gauge
+	// ScatterStreams counts per-shard partial streams opened by scatter
+	// queries: one sharded stream over n shards opens n of these.
+	ScatterStreams Counter
+	// ShardMergeSeconds is the wall-clock latency of sharded k-way
+	// merges, from scatter open until the merged stream drained.
+	ShardMergeSeconds Histogram
 }
 
 // CacheMetrics covers the middleware's two-level cache: the plan cache
@@ -695,6 +704,32 @@ func (m *Metrics) ReplicaHealth(healthy, total int64) {
 	}
 	m.Client.ReplicasHealthy.Set(healthy)
 	m.Client.Replicas.Set(total)
+}
+
+// ShardTopology records the configured shard count of the active ShardSet.
+func (m *Metrics) ShardTopology(n int64) {
+	if m == nil {
+		return
+	}
+	m.Client.Shards.Set(n)
+}
+
+// ClientScatter records the per-shard partial streams opened by one
+// scatter query.
+func (m *Metrics) ClientScatter(streams int64) {
+	if m == nil {
+		return
+	}
+	m.Client.ScatterStreams.Add(streams)
+}
+
+// ShardMergeDone records the wall-clock of one sharded k-way merge, from
+// scatter open to drained merged stream.
+func (m *Metrics) ShardMergeDone(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.Client.ShardMergeSeconds.ObserveSince(start)
 }
 
 // HTTPSessionOpen records one HTTP session beginning its lifecycle.

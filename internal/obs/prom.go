@@ -74,6 +74,9 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	counter("silkroute_wire_client_no_healthy_replica_total", "Balancer picks that failed closed with every replica open-circuit.", m.Client.NoHealthyReplica.Value())
 	gauge("silkroute_wire_replicas", "Configured replica count of the active replica set.", m.Client.Replicas.Value())
 	gauge("silkroute_wire_replicas_healthy", "Replicas the balancer currently considers usable.", m.Client.ReplicasHealthy.Value())
+	gauge("silkroute_wire_shards", "Configured shard count of the active shard set.", m.Client.Shards.Value())
+	counter("silkroute_wire_client_scatter_streams_total", "Per-shard partial streams opened by scatter queries.", m.Client.ScatterStreams.Value())
+	summary("silkroute_wire_shard_merge_seconds", "Sharded k-way merge wall-clock in seconds, scatter open to drained stream.", &m.Client.ShardMergeSeconds)
 
 	counter("silkroute_http_requests_total", "HTTP view requests admitted for service.", m.HTTP.Requests.Value())
 	counter("silkroute_http_rejected_total", "HTTP requests refused by admission control (503 + Retry-After).", m.HTTP.Rejected.Value())

@@ -199,6 +199,11 @@ type StreamMetrics struct {
 	// Replica is the index of the replica that finished serving the
 	// stream within the replica set (0 for single-backend execution).
 	Replica int
+	// Shards breaks the stream down by shard for scatter-gather
+	// execution: rows/bytes contributed and recovery machinery burned per
+	// partition, summed across plan-level restarts. Nil when the backend
+	// is not sharded.
+	Shards []wire.ShardStat
 }
 
 // StreamSpec is one tuple stream's resume contract: its SQL text, the
@@ -402,6 +407,7 @@ type wireSource struct {
 	prevRows, prevBytes int64
 	prevResumes         int
 	prevFailovers       int
+	prevShards          []wire.ShardStat
 	restarts            int
 }
 
@@ -426,6 +432,26 @@ func (s *wireSource) Next() ([]value.Value, bool, error) {
 	}
 }
 
+// addShardStats folds a live stream's per-shard breakdown into the totals
+// carried over from restarted predecessors, element-wise by shard index;
+// Replica reflects the most recent execution.
+func addShardStats(prev, cur []wire.ShardStat) []wire.ShardStat {
+	if prev == nil {
+		return cur
+	}
+	for i := range prev {
+		if i >= len(cur) {
+			break
+		}
+		prev[i].Rows += cur[i].Rows
+		prev[i].Bytes += cur[i].Bytes
+		prev[i].Resumes += cur[i].Resumes
+		prev[i].Failovers += cur[i].Failovers
+		prev[i].Replica = cur[i].Replica
+	}
+	return prev
+}
+
 // restart replaces the lost stream with a fresh execution of the same
 // query (resume re-armed with a full budget) and skips the prefix already
 // delivered to the tagger. The skipped rows cross the wire again and so
@@ -437,6 +463,7 @@ func (s *wireSource) restart() error {
 	s.prevBytes += s.rows.BytesRead
 	s.prevResumes += s.rows.Resumes
 	s.prevFailovers += s.rows.Failovers
+	s.prevShards = addShardStats(s.prevShards, s.rows.ShardStats())
 	s.rows.Close()
 	nr, err := s.client.QueryResumable(s.ctx, s.sql, s.spec)
 	if err != nil {
@@ -474,13 +501,21 @@ func ExecuteWire(ctx context.Context, client wire.Backend, p *Plan, w io.Writer)
 
 	// With resume enabled on the client, every ordered stream is opened
 	// with its resume contract, and one plan-level restart per stream backs
-	// up the wire-level budget (graceful degradation).
+	// up the wire-level budget (graceful degradation). A sharded backend
+	// needs the contract even with resume off: the scatter-gather merge
+	// keys on the same structural sort columns.
 	wspecs := make([]*wire.ResumeSpec, len(streams))
 	restarts := 0
-	if client.MaxResumes() > 0 {
+	sharded := false
+	if sh, ok := client.(interface{ Shards() int }); ok && sh.Shards() > 1 {
+		sharded = true
+	}
+	if client.MaxResumes() > 0 || sharded {
 		for i, s := range streams {
 			wspecs[i] = newStreamSpec(s).Wire()
 		}
+	}
+	if client.MaxResumes() > 0 {
 		restarts = 1
 	}
 
@@ -555,6 +590,7 @@ func ExecuteWire(ctx context.Context, client wire.Backend, p *Plan, w io.Writer)
 		m.PerStream[i].Restarts = s.restarts
 		m.PerStream[i].Failovers = s.prevFailovers + s.rows.Failovers
 		m.PerStream[i].Replica = s.rows.Replica
+		m.PerStream[i].Shards = addShardStats(s.prevShards, s.rows.ShardStats())
 		if w := s.wall; w > 0 {
 			m.PerStream[i].WallTime = w
 		} else {

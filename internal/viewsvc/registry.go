@@ -14,6 +14,7 @@ package viewsvc
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -54,11 +55,20 @@ type ViewInfo struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+
+	// backends caches Dialed remotes per topology string, so many views
+	// sharing one "<name>.topology" sidecar share one connection pool
+	// instead of each handle dialing its own.
+	beMu     sync.Mutex
+	backends map[string]*silkroute.Remote
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	return &Registry{
+		entries:  make(map[string]*entry),
+		backends: make(map[string]*silkroute.Remote),
+	}
 }
 
 // Register installs (or replaces) a live view.
@@ -142,6 +152,54 @@ func describeParseError(err error, src, prefix string) error {
 	return fmt.Errorf("%s: %w", prefix, err)
 }
 
+// describeTopologyError rewrites a topology-string parse failure as
+// "prefix:line:col: msg", the same operator-facing form describeParseError
+// gives RXL files — TopologyError carries a byte offset into src.
+func describeTopologyError(err error, src, prefix string) error {
+	var terr *silkroute.TopologyError
+	if errors.As(err, &terr) && terr.Offset >= 0 {
+		line, col := rxl.LineCol(src, terr.Offset)
+		return fmt.Errorf("%s:%d:%d: %s", prefix, line, col, terr.Msg)
+	}
+	return fmt.Errorf("%s: %w", prefix, err)
+}
+
+// backendFor resolves a view's backend from an optional topology sidecar:
+// with a parsed topology it returns a Dialed remote, cached per canonical
+// topology string so sibling views share one pool; without, the default
+// backend def passes through.
+func (r *Registry) backendFor(t silkroute.Topology, def silkroute.Backend, opts []silkroute.Option) (silkroute.Backend, error) {
+	if t.IsZero() {
+		return def, nil
+	}
+	key := t.String()
+	r.beMu.Lock()
+	defer r.beMu.Unlock()
+	if re, ok := r.backends[key]; ok {
+		return re, nil
+	}
+	re, err := silkroute.Dial(t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	r.backends[key] = re
+	return re, nil
+}
+
+// Close releases every topology-dialed backend the registry cached.
+func (r *Registry) Close() error {
+	r.beMu.Lock()
+	defer r.beMu.Unlock()
+	var first error
+	for key, re := range r.backends {
+		if err := re.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(r.backends, key)
+	}
+	return first
+}
+
 // Compile builds a handle from RXL source, rewriting parse failures into
 // the positioned form the admin endpoint wants ("view name:line:col: msg").
 func Compile(name string, b silkroute.Backend, src string, opts ...silkroute.Option) (*silkroute.Handle, error) {
@@ -158,6 +216,13 @@ func Compile(name string, b silkroute.Backend, src string, opts ...silkroute.Opt
 // so one bad view file degrades that one name to 503 instead of aborting
 // the whole registry. Only dir-level failures (unreadable directory) are
 // returned as err.
+//
+// A sidecar "<name>.topology" file next to "<name>.rxl" binds that view to
+// its own backend topology (ParseTopology syntax — "a:7070", "a,b", or
+// "s0=a,b;s1=c,d"), so a hosted view can be replica- or shard-backed while
+// its siblings use the default backend. Views naming the same topology
+// share one dialed connection. A malformed sidecar degrades its view to
+// 503 with a file:line:col diagnostic, like a malformed RXL file.
 func (r *Registry) LoadDir(dir string, b silkroute.Backend, opts ...silkroute.Option) (ok, broken int, err error) {
 	files, err := filepath.Glob(filepath.Join(dir, "*.rxl"))
 	if err != nil {
@@ -180,7 +245,29 @@ func (r *Registry) LoadDir(dir string, b silkroute.Backend, opts ...silkroute.Op
 			continue
 		}
 		src := string(raw)
-		h, cerr := silkroute.NewHandle(name, b, src, opts...)
+		backend := b
+		tpath := strings.TrimSuffix(path, ".rxl") + ".topology"
+		if traw, terr := os.ReadFile(tpath); terr == nil {
+			tsrc := string(traw)
+			topo, perr := silkroute.ParseTopology(tsrc)
+			if perr != nil {
+				r.RegisterBroken(name, describeTopologyError(perr, tsrc, tpath), src, path)
+				broken++
+				continue
+			}
+			be, derr := r.backendFor(topo, b, opts)
+			if derr != nil {
+				r.RegisterBroken(name, fmt.Errorf("%s: %w", tpath, derr), src, path)
+				broken++
+				continue
+			}
+			backend = be
+		} else if !errors.Is(terr, fs.ErrNotExist) {
+			r.RegisterBroken(name, terr, src, path)
+			broken++
+			continue
+		}
+		h, cerr := silkroute.NewHandle(name, backend, src, opts...)
 		if cerr != nil {
 			r.RegisterBroken(name, describeParseError(cerr, src, path), src, path)
 			broken++

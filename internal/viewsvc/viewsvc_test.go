@@ -576,3 +576,82 @@ func truncate(b []byte, n int) string {
 	}
 	return string(b[:n]) + "…"
 }
+
+// TestLoadDirTopologySidecars covers the "<name>.topology" binding: a
+// view with a sidecar compiles against a dialed remote and still serves
+// the byte-identical document, sibling views naming the same topology
+// share one cached backend, and a malformed sidecar degrades its view to
+// a broken entry with a file:line:col diagnostic — exactly like a
+// malformed RXL file.
+func TestLoadDirTopologySidecars(t *testing.T) {
+	db, goldens := fixture(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer l.Close()
+	go db.Serve(l)
+
+	dir := t.TempDir()
+	topo := l.Addr().String() + "\n"
+	for _, name := range []string{"fragment", "fragment2"} {
+		if err := os.WriteFile(filepath.Join(dir, name+".rxl"), []byte(rxl.FragmentSource), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".topology"), []byte(topo), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A trailing comma leaves an empty replica address at byte 7 of line 1.
+	if err := os.WriteFile(filepath.Join(dir, "broken.rxl"), []byte(rxl.FragmentSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.topology"), []byte("a:7070,,b:7070"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	defer reg.Close()
+	ok, broken, err := reg.LoadDir(dir, db, silkroute.WithSource(silkroute.TPCHSourceDescription()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 2 || broken != 1 {
+		t.Fatalf("LoadDir = (%d ok, %d broken), want (2, 1)", ok, broken)
+	}
+
+	// Both topology-backed views serve the same bytes as the direct run.
+	for _, name := range []string{"fragment", "fragment2"} {
+		h, herr, found := reg.Lookup(name)
+		if !found || herr != nil {
+			t.Fatalf("%s: found=%v err=%v", name, found, herr)
+		}
+		var buf bytes.Buffer
+		if _, err := h.Materialize(context.Background(), &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), goldens["fragment"]) {
+			t.Errorf("%s: topology-backed document differs from direct Materialize", name)
+		}
+	}
+
+	// Sibling views naming the same topology share one dialed backend.
+	reg.beMu.Lock()
+	cached := len(reg.backends)
+	reg.beMu.Unlock()
+	if cached != 1 {
+		t.Errorf("registry cached %d backends, want 1 shared", cached)
+	}
+
+	// The malformed sidecar registers broken with a positioned diagnostic.
+	_, berr, found := reg.Lookup("broken")
+	if !found || berr == nil {
+		t.Fatal("broken view not registered as broken")
+	}
+	if want := "broken.topology:1:8"; !strings.Contains(berr.Error(), want) {
+		t.Errorf("broken diagnostic %q lacks %q", berr, want)
+	}
+	if !strings.Contains(berr.Error(), "empty address") {
+		t.Errorf("broken diagnostic %q lacks the parse message", berr)
+	}
+}

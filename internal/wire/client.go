@@ -386,6 +386,11 @@ type Rows struct {
 	set         *ReplicaSet
 	foBudget    int                // remaining cross-replica failovers
 	hedgeCancel context.CancelFunc // retires a hedged open's private context
+
+	// Shard state (see shard.go). merge != nil means this Rows is the
+	// spliced head of a scatter-gather: it owns no connection of its own
+	// and Next/Close are served by the merge over the per-shard children.
+	merge *shardMerge
 }
 
 // Query submits sql and returns the stream positioned before the first row.
@@ -544,6 +549,9 @@ func decodeColumns(status []byte) ([]string, error) {
 // individually. Cancelling the stream's context interrupts a blocked read
 // promptly; the error then satisfies errors.Is(err, context.Canceled).
 func (r *Rows) Next() ([]value.Value, error) {
+	if r.merge != nil {
+		return r.merge.next(r)
+	}
 	if r.done {
 		return nil, io.EOF
 	}
@@ -610,6 +618,9 @@ func (r *Rows) release(reusable bool) {
 // executors can close every stream unconditionally after tagging without
 // tripping over streams that already released themselves at EOF.
 func (r *Rows) Close() error {
+	if r.merge != nil {
+		return r.merge.close(r)
+	}
 	r.done = true
 	r.release(false)
 	return nil

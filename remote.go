@@ -39,49 +39,81 @@ type Remote struct {
 	frags   *fragcache.Cache
 }
 
-// Dial is the single constructor behind every remote connection shape. The
-// endpoint comes from the options: WithAddrs(one) dials a single server,
-// WithAddrs(several) builds a replica set with health-weighted balancing
-// and cross-replica failover, and WithDialer substitutes a custom
-// transport. The same option list also carries the connection policy
-// (retry, pool, timeouts, resume, breaker, failover, hedging) and the
-// source description (WithSource), so a server's per-backend config maps
-// 1:1 onto one option slice.
+// Dial is the single constructor behind every remote connection shape: it
+// takes a declarative Topology — Single(addr), Replicas(addrs...),
+// Sharded(groups...), SingleFunc(dialer), or ParseTopology's flag string —
+// and builds the matching wire backend: a pooled client, a replica set
+// with health-weighted balancing and cross-replica failover, or a shard
+// set that scatters every stream and k-way-merges the sorted partials.
+// Grids compose: each shard of a Sharded topology is its own replica
+// group with its own recovery ladder underneath the merge.
+//
+// The option list carries the connection policy (retry, pool, timeouts,
+// resume, breaker, failover, hedging) and the source description
+// (WithSource), so a server's per-backend config maps 1:1 onto one option
+// slice. A zero Topology falls back to option-carried endpoints
+// (WithAddrs / WithDialer); declaring both is an error.
 //
 // ConnectTCP, ConnectReplicas, and ConnectFunc remain as thin documented
 // wrappers over Dial for code written against the older constructors.
-func Dial(opts ...Option) (*Remote, error) {
+func Dial(t Topology, opts ...Option) (*Remote, error) {
 	c := buildConfig(opts)
-	r := &Remote{source: c.source}
-	switch {
-	case c.dialer != nil && len(c.addrs) > 0:
-		return nil, errors.New("silkroute: Dial: WithDialer and WithAddrs are mutually exclusive")
-	case c.dialer != nil:
-		r.client = wire.NewClient(c.dialer, c.clientOptions()...)
-	case len(c.addrs) == 1:
-		r.client = wire.Dial(c.addrs[0], c.clientOptions()...)
-	case len(c.addrs) > 1:
-		clients := make([]*wire.Client, len(c.addrs))
-		for i, a := range c.addrs {
-			clients[i] = wire.Dial(a, c.clientOptions()...)
+	if t.IsZero() {
+		switch {
+		case c.dialer != nil && len(c.addrs) > 0:
+			return nil, errors.New("silkroute: Dial: WithDialer and WithAddrs are mutually exclusive")
+		case c.dialer != nil:
+			t = SingleFunc(c.dialer)
+		case len(c.addrs) > 0:
+			t = Replicas(c.addrs...)
+		default:
+			return nil, errors.New("silkroute: Dial: no endpoint — pass a Topology, WithAddrs, or WithDialer")
 		}
-		r.client = wire.NewReplicaSet(clients, c.replicaOptions(c.addrs)...)
-	default:
-		return nil, errors.New("silkroute: Dial: no endpoint — pass WithAddrs or WithDialer")
+	} else if c.dialer != nil || len(c.addrs) > 0 {
+		return nil, errors.New("silkroute: Dial: a Topology and WithAddrs/WithDialer are mutually exclusive")
+	}
+	r := &Remote{source: c.source}
+	backends := make([]wire.Backend, len(t.groups))
+	for i, g := range t.groups {
+		if len(g) == 1 {
+			backends[i] = dialEndpoint(g[0], c)
+			continue
+		}
+		clients := make([]*wire.Client, len(g))
+		names := make([]string, len(g))
+		for j, e := range g {
+			clients[j] = dialEndpoint(e, c)
+			names[j] = e.addr
+		}
+		backends[i] = wire.NewReplicaSet(clients, c.replicaOptions(names)...)
+	}
+	if len(backends) == 1 {
+		r.client = backends[0]
+	} else {
+		r.client = wire.NewShardSet(backends, wire.WithShardNames(t.shardNames()))
 	}
 	return r, nil
+}
+
+// dialEndpoint builds one endpoint's pooled client under the shared
+// connection policy.
+func dialEndpoint(e endpoint, c *config) *wire.Client {
+	if e.dial != nil {
+		return wire.NewClient(e.dial, c.clientOptions()...)
+	}
+	return wire.Dial(e.addr, c.clientOptions()...)
 }
 
 // ConnectTCP returns a remote database handle for the given address.
 // Connections are dialed on demand — honoring the materialize context's
 // deadline — pooled, and reused across queries and estimate requests.
 //
-// It is a wrapper for Dial(WithAddrs(addr), opts...), kept as a documented
-// alias for one release.
+// It is a wrapper for Dial(Single(addr), opts...), kept as a documented
+// alias.
 func ConnectTCP(addr string, opts ...Option) *Remote {
-	r, err := Dial(append([]Option{WithAddrs(addr)}, opts...)...)
+	r, err := Dial(Single(addr), opts...)
 	if err != nil {
-		// Unreachable unless the option list smuggles in a dialer; that
+		// Unreachable unless the option list smuggles in an endpoint; that
 		// misuse deserves the same loud failure ConnectReplicas gives.
 		panic(err)
 	}
@@ -93,12 +125,10 @@ func ConnectTCP(addr string, opts ...Option) *Remote {
 // can block should keep its own timeout, as it is not handed the request
 // context.
 //
-// It is a wrapper for Dial(WithDialer(...), opts...), kept as a documented
-// alias for one release.
+// It is a wrapper for Dial(SingleFunc(...), opts...), kept as a documented
+// alias.
 func ConnectFunc(dial func() (net.Conn, error), opts ...Option) *Remote {
-	r, err := Dial(append([]Option{
-		WithDialer(func(context.Context) (net.Conn, error) { return dial() }),
-	}, opts...)...)
+	r, err := Dial(SingleFunc(func(context.Context) (net.Conn, error) { return dial() }), opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -115,13 +145,13 @@ func ConnectFunc(dial func() (net.Conn, error), opts ...Option) *Remote {
 // WithFailover). When every replica is open-circuit, requests fail closed
 // with ErrNoHealthyReplica. A single address behaves like ConnectTCP.
 //
-// It is a wrapper for Dial(WithAddrs(addrs...), opts...), kept as a
-// documented alias for one release.
+// It is a wrapper for Dial(Replicas(addrs...), opts...), kept as a
+// documented alias.
 func ConnectReplicas(addrs []string, opts ...Option) *Remote {
 	if len(addrs) == 0 {
 		panic("silkroute: ConnectReplicas needs at least one address")
 	}
-	r, err := Dial(append([]Option{WithAddrs(addrs...)}, opts...)...)
+	r, err := Dial(Replicas(addrs...), opts...)
 	if err != nil {
 		panic(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"io/fs"
 	"net"
@@ -21,6 +22,7 @@ import (
 	"silkroute/internal/rxl"
 	"silkroute/internal/schema"
 	"silkroute/internal/sqlgen"
+	"silkroute/internal/table"
 	"silkroute/internal/tpch"
 	"silkroute/internal/viewtree"
 	"silkroute/internal/wire"
@@ -400,6 +402,63 @@ func (db *DB) RowCount(relation string) (int, error) {
 	return t.Len(), nil
 }
 
+// Partition returns shard i of n under the horizontal partitioning scheme
+// sharded topologies assume: the named relation's rows are split by a
+// deterministic hash of their primary key (row r lands on shard
+// hash(key(r)) mod n), and every other relation is replicated whole. With
+// the shard key on the view's root relation this keeps each sorted
+// stream's full-key ties within one shard, so the scatter-gather merge
+// reassembles the exact global order; serving the n partitions behind
+// Sharded(...) then materializes documents byte-identical to the unsharded
+// run. The source database is unchanged.
+func (db *DB) Partition(relation string, i, n int) (*DB, error) {
+	if n <= 0 || i < 0 || i >= n {
+		return nil, fmt.Errorf("silkroute: Partition: shard %d of %d out of range", i, n)
+	}
+	rel, ok := db.eng.Schema.Relation(relation)
+	if !ok {
+		return nil, fmt.Errorf("silkroute: Partition: unknown relation %s", relation)
+	}
+	keyCols := make([]int, len(rel.Key))
+	for k, name := range rel.Key {
+		if keyCols[k] = rel.ColumnIndex(name); keyCols[k] < 0 {
+			return nil, fmt.Errorf("silkroute: Partition: %s key column %s missing", relation, name)
+		}
+	}
+	out := engine.NewDatabase(db.eng.Schema)
+	for _, name := range db.eng.Schema.RelationNames() {
+		src, err := db.eng.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := out.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range src.Rows {
+			if name == relation && shardOf(row, keyCols, n) != i {
+				continue
+			}
+			if err := dst.Insert(append(table.Row(nil), row...)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &DB{eng: out}, nil
+}
+
+// shardOf hashes a row's key columns (FNV-1a over their canonical hash
+// bytes) onto one of n shards.
+func shardOf(row table.Row, keyCols []int, n int) int {
+	h := fnv.New64a()
+	var scratch []byte
+	for _, k := range keyCols {
+		scratch = row[k].AppendHashKey(scratch[:0])
+		h.Write(scratch)
+	}
+	return int(h.Sum64() % uint64(n))
+}
+
 // Serve runs the wire protocol on a listener so remote SilkRoute clients
 // can query this database, mirroring the paper's client/server split. It
 // blocks until the listener fails; use ServeContext for a server that can
@@ -680,6 +739,21 @@ type StreamStat struct {
 	Restarts  int           // full re-executions after the resume budget ran out
 	Failovers int           // cross-replica failovers (ConnectReplicas views only)
 	Replica   int           // replica index that finished serving the stream (0 single-backend)
+	// Shards breaks the stream down per shard for scatter-gather
+	// execution over a Sharded topology; nil otherwise.
+	Shards []ShardStat
+}
+
+// ShardStat is one shard's contribution to a scattered stream: its share
+// of the merged rows and bytes, the recovery machinery it burned
+// underneath the merge, and the replica that ended up serving it.
+type ShardStat struct {
+	Shard     int   // shard index within the topology
+	Rows      int64 // tuples this shard supplied to the merge
+	Bytes     int64 // payload bytes this shard transferred
+	Resumes   int   // the shard's own mid-stream resumes
+	Failovers int   // the shard's own cross-replica failovers
+	Replica   int   // replica index serving the shard's partial stream
 }
 
 // Materialize evaluates the view with the given strategy and writes the
@@ -851,6 +925,16 @@ func (v *View) execute(ctx context.Context, w io.Writer, p *plan.Plan, rep *Repo
 			Restarts:  sm.Restarts,
 			Failovers: sm.Failovers,
 			Replica:   sm.Replica,
+		}
+		for _, ss := range sm.Shards {
+			rep.StreamStats[i].Shards = append(rep.StreamStats[i].Shards, ShardStat{
+				Shard:     ss.Shard,
+				Rows:      ss.Rows,
+				Bytes:     ss.Bytes,
+				Resumes:   ss.Resumes,
+				Failovers: ss.Failovers,
+				Replica:   ss.Replica,
+			})
 		}
 		rep.Failovers += sm.Failovers
 	}
