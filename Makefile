@@ -2,7 +2,7 @@ GO ?= go
 # Pinned so CI and laptops run the same checker; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet staticcheck test test-race chaos replica-chaos shard-chaos cache-check bench-smoke bench-json loadtest loadtest-smoke ci experiments
+.PHONY: all build vet staticcheck test test-race chaos replica-chaos shard-chaos cache-check bench-smoke bench-json loadtest loadtest-smoke overload-chaos ci experiments
 
 all: build
 
@@ -110,7 +110,18 @@ loadtest:
 loadtest-smoke:
 	$(GO) run -race ./cmd/loadgen -clients 8 -rounds 2 -out loadtest-smoke.json
 
-ci: vet staticcheck build test-race chaos replica-chaos shard-chaos cache-check loadtest-smoke bench-smoke bench-json
+# The overload/degradation gate under the race detector: offered load at
+# twice the admitted cap split across two tenants (one inside its quota,
+# one hammering far past it) over a replica set with one replica
+# chaos-killed mid-stream. Asserts the in-quota tenant sees only
+# byte-identical documents with bounded p99, the abusive tenant collects
+# 429 + Retry-After, spent-budget requests are refused without a single
+# backend query, and all-replicas-down requests are served complete stale
+# documents flagged with Silkroute-Stale headers.
+overload-chaos:
+	$(GO) run -race ./cmd/loadgen -overload -out overload-chaos.json
+
+ci: vet staticcheck build test-race chaos replica-chaos shard-chaos cache-check loadtest-smoke overload-chaos bench-smoke bench-json
 
 experiments:
 	$(GO) run ./cmd/experiments

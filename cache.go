@@ -35,6 +35,20 @@ func WithFragmentCache(maxBytes int64) Option {
 	return func(c *config) { c.fragBytes, c.fragSet = maxBytes, true }
 }
 
+// WithServeStale opts a view into graceful degradation: when the backend
+// is entirely unhealthy (every replica open-circuit — ErrNoHealthyReplica
+// or ErrCircuitOpen) and not a single byte of the response has been
+// written yet, Materialize serves the view's last complete fragment-cache
+// entry instead of failing, marking the Report with ServedStale and the
+// entry's age. The stale document is always a complete, previously
+// validated materialization — never a partial, never mixed with fresh
+// bytes. Requires WithFragmentCache; without a cached entry (or once any
+// fresh byte has escaped) the request fails closed exactly as today.
+// View option.
+func WithServeStale() Option {
+	return func(c *config) { c.serveStale = true }
+}
+
 // planCache lazily creates the DB's shared plan cache.
 func (db *DB) planCache() *plancache.Cache {
 	db.cacheMu.Lock()

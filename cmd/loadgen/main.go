@@ -24,8 +24,21 @@
 // (goldens become first-fetch baselines; saturation and drain phases are
 // skipped — they require in-process control of the server).
 //
+// With -overload the standard phases are replaced by the two-tenant
+// overload/degradation scenario: offered load at twice the admitted-stream
+// cap, split between a tenant inside its quota and one hammering far past
+// it, over a two-replica backend whose first replica is chaos-killed
+// mid-stream throughout. The in-quota tenant must see only byte-identical
+// documents with bounded p99; the abusive tenant must collect 429s with
+// Retry-After hints; requests arriving with an already-spent
+// Silkroute-Budget must be refused 504 without a single backend query
+// (asserted against the engine's query log); and once every replica is
+// down, responses must be complete cached documents flagged with
+// Silkroute-Stale headers.
+//
 // Any mismatch, truncation, or failed assertion makes loadgen exit
-// nonzero, which is what lets `make loadtest-smoke` gate CI.
+// nonzero, which is what lets `make loadtest-smoke` and
+// `make overload-chaos` gate CI.
 package main
 
 import (
@@ -72,19 +85,56 @@ type viewStats struct {
 }
 
 type report struct {
-	Clients    int                  `json:"clients"`
-	Rounds     int                  `json:"rounds"`
-	Views      int                  `json:"views"`
-	Requests   int                  `json:"requests"`
-	Mismatches int                  `json:"mismatches"`
-	Errors     int                  `json:"errors"`
-	P50ms      float64              `json:"p50_ms"`
-	P95ms      float64              `json:"p95_ms"`
-	P99ms      float64              `json:"p99_ms"`
-	PerView    map[string]viewStats `json:"per_view"`
-	Saturation *saturationReport    `json:"saturation,omitempty"`
-	Drain      *drainReport         `json:"drain,omitempty"`
-	OK         bool                 `json:"ok"`
+	Clients    int     `json:"clients"`
+	Rounds     int     `json:"rounds"`
+	Views      int     `json:"views"`
+	Requests   int     `json:"requests"`
+	Mismatches int     `json:"mismatches"`
+	Errors     int     `json:"errors"`
+	// Rejected429/Rejected503 count admission refusals separately from
+	// errors: a refusal is the server doing its job, not a failure — but
+	// an operator reading the summary needs to see how much of the
+	// offered load was shed, and by which gate (tenant quota vs global
+	// saturation).
+	Rejected429 int                  `json:"rejected_429"`
+	Rejected503 int                  `json:"rejected_503"`
+	P50ms       float64              `json:"p50_ms"`
+	P95ms       float64              `json:"p95_ms"`
+	P99ms       float64              `json:"p99_ms"`
+	PerView     map[string]viewStats `json:"per_view"`
+	Saturation  *saturationReport    `json:"saturation,omitempty"`
+	Drain       *drainReport         `json:"drain,omitempty"`
+	Overload    *overloadReport      `json:"overload,omitempty"`
+	OK          bool                 `json:"ok"`
+}
+
+// overloadReport is the -overload scenario's verdict: one tenant inside
+// its quota, one far past it, a chaos-killed replica underneath, plus the
+// budget fail-fast and serve-stale assertions.
+type overloadReport struct {
+	Slots          int     `json:"slots"`
+	OfferedClients int     `json:"offered_clients"`
+	GoodRequests   int     `json:"good_requests"`
+	GoodRejected   int     `json:"good_rejected"`
+	GoodErrors     int     `json:"good_errors"`
+	GoodMismatches int     `json:"good_mismatches"`
+	GoodP99ms      float64 `json:"good_p99_ms"`
+	EvilRequests   int     `json:"evil_requests"`
+	Evil200        int     `json:"evil_200"`
+	Evil429        int     `json:"evil_429"`
+	Evil503        int     `json:"evil_503"`
+	// EvilRetryAfter reports that every 429 carried a Retry-After hint.
+	EvilRetryAfter bool `json:"evil_retry_after"`
+	EvilErrors     int  `json:"evil_errors"`
+	BudgetRequests int  `json:"budget_requests"`
+	Budget504      int  `json:"budget_504"`
+	// BudgetBackendQueries counts backend SQL executed during the
+	// spent-budget burst — the engine query log must stay empty.
+	BudgetBackendQueries int    `json:"budget_backend_queries"`
+	StaleServed          bool   `json:"stale_served"`
+	StaleIdentical       bool   `json:"stale_identical"`
+	StaleAge             string `json:"stale_age,omitempty"`
+	OK                   bool   `json:"ok"`
 }
 
 type saturationReport struct {
@@ -112,6 +162,8 @@ func main() {
 	shards := flag.Int("shards", 1, "back the throughput phase with this many scatter-gather shards (partitioned by Supplier, served in-process)")
 	skipSaturate := flag.Bool("skip-saturate", false, "skip the saturation phase")
 	skipDrain := flag.Bool("skip-drain", false, "skip the SIGTERM drain phase")
+	overload := flag.Bool("overload", false, "run the two-tenant overload/degradation scenario instead of the standard phases")
+	overloadDur := flag.Duration("overload-duration", 3*time.Second, "storm duration for -overload")
 	out := flag.String("out", "", "write the JSON summary to this file")
 	flag.Parse()
 
@@ -120,6 +172,18 @@ func main() {
 		Rounds:  *rounds,
 		PerView: make(map[string]viewStats),
 		OK:      true,
+	}
+
+	if *overload {
+		rep.Overload = runOverload(*scale, *seed, *overloadDur)
+		rep.Views = 2
+		rep.OK = rep.Overload.OK
+		printSummary(&rep)
+		writeReport(&rep, *out)
+		if !rep.OK {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var (
@@ -194,14 +258,19 @@ func main() {
 		rep.OK = false
 	}
 	printSummary(&rep)
-	if *out != "" {
-		blob, _ := json.MarshalIndent(&rep, "", "  ")
-		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-	}
+	writeReport(&rep, *out)
 	if !rep.OK {
 		os.Exit(1)
+	}
+}
+
+func writeReport(rep *report, out string) {
+	if out == "" {
+		return
+	}
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
 	}
 }
 
@@ -333,23 +402,50 @@ func fetchBaselines(baseURL string) (map[string][]byte, error) {
 	return goldens, nil
 }
 
-// get fetches one view document and reports the full body and elapsed time.
-func get(c *http.Client, baseURL, view string) ([]byte, time.Duration, error) {
+// fetchResult is one completed HTTP exchange: status, headers, full body,
+// and wall time. Transport failures (dial, mid-body cut) surface as the
+// error from fetch instead.
+type fetchResult struct {
+	status  int
+	header  http.Header
+	body    []byte
+	elapsed time.Duration
+}
+
+// fetch performs one GET with optional extra headers and reads the body to
+// the end. It does not judge the status — callers classify 200 vs 429 vs
+// 503 themselves.
+func fetch(c *http.Client, url string, hdr map[string]string) (*fetchResult, error) {
 	start := time.Now()
-	resp, err := c.Get(baseURL + "/views/" + view)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
-	elapsed := time.Since(start)
 	if err != nil {
-		return nil, elapsed, err
+		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, elapsed, fmt.Errorf("view %s: %s: %s", view, resp.Status, bytes.TrimSpace(body))
+	return &fetchResult{status: resp.StatusCode, header: resp.Header, body: body, elapsed: time.Since(start)}, nil
+}
+
+// get fetches one view document and reports the full body and elapsed time.
+func get(c *http.Client, baseURL, view string) ([]byte, time.Duration, error) {
+	res, err := fetch(c, baseURL+"/views/"+view, nil)
+	if err != nil {
+		return nil, 0, err
 	}
-	return body, elapsed, nil
+	if res.status != http.StatusOK {
+		return nil, res.elapsed, fmt.Errorf("view %s: status %d: %s", view, res.status, bytes.TrimSpace(res.body))
+	}
+	return res.body, res.elapsed, nil
 }
 
 type sample struct {
@@ -380,19 +476,26 @@ func runThroughput(baseURL string, goldens map[string][]byte, clients, rounds in
 			for r := 0; r < rounds; r++ {
 				for i := range views {
 					view := views[(c+i)%len(views)]
-					body, elapsed, err := get(httpc, baseURL, view)
+					res, err := fetch(httpc, baseURL+"/views/"+view, nil)
 					mu.Lock()
 					rep.Requests++
 					switch {
 					case err != nil:
 						rep.Errors++
-						fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-					case !bytes.Equal(body, goldens[view]):
+						fmt.Fprintf(os.Stderr, "loadgen: view %s: %v\n", view, err)
+					case res.status == http.StatusTooManyRequests:
+						rep.Rejected429++
+					case res.status == http.StatusServiceUnavailable:
+						rep.Rejected503++
+					case res.status != http.StatusOK:
+						rep.Errors++
+						fmt.Fprintf(os.Stderr, "loadgen: view %s: status %d: %s\n", view, res.status, bytes.TrimSpace(res.body))
+					case !bytes.Equal(res.body, goldens[view]):
 						rep.Mismatches++
 						fmt.Fprintf(os.Stderr, "loadgen: view %s: body diverges from direct Materialize (%d vs %d bytes)\n",
-							view, len(body), len(goldens[view]))
+							view, len(res.body), len(goldens[view]))
 					default:
-						samples = append(samples, sample{view, elapsed})
+						samples = append(samples, sample{view, res.elapsed})
 					}
 					mu.Unlock()
 				}
@@ -569,6 +672,286 @@ func runDrain(reg *viewsvc.Registry, goldens map[string][]byte) *drainReport {
 	return dr
 }
 
+// Overload-scenario shape: the admitted-stream cap, the offered load at
+// twice that, and the chaos spec killing replica 0's streams mid-flight
+// (each distinct query text cut at a pseudo-random row, enough kill budget
+// to stay flaky all storm).
+const (
+	overloadSlots = 4
+	// Each distinct query text on replica 0 is cut at a pseudo-random row
+	// up to three times — enough to force the resume ladder and
+	// cross-replica failovers, without replaying the kill on every single
+	// retry for the whole storm.
+	overloadChaosSpec = "seed=11,cutrowmax=25,kills=3"
+	// maxGoodP99 bounds the in-quota tenant's p99 under the storm. It is
+	// deliberately loose — the assertion is "not starved" (milliseconds
+	// to seconds, not minutes), robust to the race detector and to the
+	// resume/failover churn the chaos kills cause.
+	maxGoodP99 = 10 * time.Second
+)
+
+// runOverload is the per-tenant overload/degradation scenario; see the
+// package comment for the contract it asserts.
+func runOverload(scale float64, seed int64, duration time.Duration) *overloadReport {
+	or := &overloadReport{Slots: overloadSlots, OfferedClients: 2 * overloadSlots}
+	fail := func(format string, args ...any) *overloadReport {
+		fmt.Fprintf(os.Stderr, "loadgen: overload: "+format+"\n", args...)
+		return or
+	}
+
+	// One database served on two replica listeners: identical data by
+	// construction, and one shared query log that sees every backend
+	// stream either replica runs. Replica 0 is chaos-killed mid-stream
+	// throughout, so the storm rides resume + cross-replica failover.
+	db := silkroute.OpenTPCH(scale, seed)
+	sctx, scancel := context.WithCancel(context.Background())
+	defer scancel()
+	var swg sync.WaitGroup
+	addrs := make([]string, 2)
+	listeners := make([]net.Listener, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail("%v", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+		swg.Add(1)
+		chaosSpec := ""
+		if i == 0 {
+			chaosSpec = overloadChaosSpec
+		}
+		go func(l net.Listener, spec string) {
+			defer swg.Done()
+			if spec != "" {
+				db.ServeChaosContext(sctx, l, spec)
+			} else {
+				db.ServeContext(sctx, l)
+			}
+		}(l, chaosSpec)
+	}
+	stopBackends := func() {
+		scancel()
+		for _, l := range listeners {
+			l.Close()
+		}
+		swg.Wait()
+	}
+	defer stopBackends()
+
+	// The served views ride the replicated backend with the full
+	// resilience ladder plus both caches — the fragment cache doubles as
+	// the serve-stale source once every replica is gone.
+	opts := []silkroute.Option{
+		silkroute.WithSource(silkroute.TPCHSourceDescription()),
+		silkroute.WithResume(3),
+		silkroute.WithFailover(1),
+		silkroute.WithBreaker(1, 500*time.Millisecond),
+		silkroute.WithPlanCache(),
+		silkroute.WithFragmentCache(-1),
+	}
+	remote, err := silkroute.Dial(silkroute.Replicas(addrs...), opts...)
+	if err != nil {
+		return fail("dial replicas: %v", err)
+	}
+	defer remote.Close()
+
+	reg := viewsvc.NewRegistry()
+	goldens := make(map[string][]byte)
+	views := []string{"q1", "fragment"}
+	for _, spec := range []struct {
+		name, src string
+		strat     silkroute.Strategy
+	}{
+		{"q1", rxl.Query1Source, silkroute.Greedy},
+		{"fragment", rxl.FragmentSource, silkroute.Unified},
+	} {
+		gh, err := viewsvc.Compile(spec.name, db, spec.src, silkroute.WithStrategy(spec.strat))
+		if err != nil {
+			return fail("compile golden %s: %v", spec.name, err)
+		}
+		var buf bytes.Buffer
+		if _, err := gh.Materialize(context.Background(), &buf); err != nil {
+			return fail("golden %s: %v", spec.name, err)
+		}
+		goldens[spec.name] = buf.Bytes()
+		h, err := viewsvc.Compile(spec.name, remote, spec.src,
+			append(append([]silkroute.Option(nil), opts...), silkroute.WithStrategy(spec.strat))...)
+		if err != nil {
+			return fail("compile %s: %v", spec.name, err)
+		}
+		reg.Register(spec.name, h, spec.src, "loadgen")
+	}
+
+	// The good tenant's concurrency carve-out plus the evil tenant's
+	// equals the global cap, so the good tenant can never be squeezed
+	// into a 503 by the evil one's burst — its failures would be real
+	// failures.
+	baseURL, stopSrv, err := startServer(viewsvc.Config{
+		Registry: reg,
+		Limits:   viewsvc.Limits{MaxConcurrent: overloadSlots},
+		Tenants: map[string]viewsvc.TenantLimits{
+			"good": {MaxConcurrent: overloadSlots / 2},
+			"evil": {Rate: 40, Burst: 2, MaxConcurrent: overloadSlots / 2},
+		},
+		ServeStale: true,
+	})
+	if err != nil {
+		return fail("start server: %v", err)
+	}
+	defer stopSrv()
+	httpc := newClient(2 * overloadSlots)
+
+	// Warm the plan and fragment caches outside the clock: the storm
+	// measures steady-state behavior under overload, not the cost of the
+	// first greedy compilation over a chaos-killed wire.
+	for _, view := range views {
+		res, err := fetch(httpc, baseURL+"/views/"+view, map[string]string{viewsvc.HeaderTenant: "good"})
+		if err != nil || res.status != http.StatusOK {
+			return fail("warmup %s failed (err=%v status=%d)", view, err, statusOf(res))
+		}
+	}
+
+	// Phase 1 — the storm: offered load at twice the admitted cap, split
+	// between the tenants, over the chaos-killed replica set.
+	var (
+		mu        sync.Mutex
+		goodLat   []time.Duration
+		raMissing int
+		storm     sync.WaitGroup
+	)
+	stormEnd := time.Now().Add(duration)
+	for c := 0; c < overloadSlots/2; c++ {
+		storm.Add(1)
+		go func(c int) {
+			defer storm.Done()
+			for i := 0; time.Now().Before(stormEnd); i++ {
+				view := views[(c+i)%len(views)]
+				res, err := fetch(httpc, baseURL+"/views/"+view, map[string]string{viewsvc.HeaderTenant: "good"})
+				mu.Lock()
+				or.GoodRequests++
+				switch {
+				case err != nil:
+					or.GoodErrors++
+					fmt.Fprintf(os.Stderr, "loadgen: overload: good %s: %v\n", view, err)
+				case res.status == http.StatusOK:
+					if bytes.Equal(res.body, goldens[view]) {
+						goodLat = append(goodLat, res.elapsed)
+					} else {
+						or.GoodMismatches++
+						fmt.Fprintf(os.Stderr, "loadgen: overload: good %s: body diverges (%d vs %d bytes)\n",
+							view, len(res.body), len(goldens[view]))
+					}
+				case res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable:
+					or.GoodRejected++
+				default:
+					or.GoodErrors++
+					fmt.Fprintf(os.Stderr, "loadgen: overload: good %s: status %d: %s\n",
+						view, res.status, bytes.TrimSpace(res.body))
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	for c := 0; c < 2*overloadSlots-overloadSlots/2; c++ {
+		storm.Add(1)
+		go func(c int) {
+			defer storm.Done()
+			for i := 0; time.Now().Before(stormEnd); i++ {
+				view := views[(c+i)%len(views)]
+				res, err := fetch(httpc, baseURL+"/views/"+view, map[string]string{viewsvc.HeaderTenant: "evil"})
+				mu.Lock()
+				or.EvilRequests++
+				switch {
+				case err != nil:
+					or.EvilErrors++
+					fmt.Fprintf(os.Stderr, "loadgen: overload: evil %s: %v\n", view, err)
+				case res.status == http.StatusOK:
+					or.Evil200++
+					if !bytes.Equal(res.body, goldens[view]) {
+						or.EvilErrors++
+						fmt.Fprintf(os.Stderr, "loadgen: overload: evil %s: body diverges\n", view)
+					}
+				case res.status == http.StatusTooManyRequests:
+					or.Evil429++
+					if res.header.Get("Retry-After") == "" {
+						raMissing++
+					}
+				case res.status == http.StatusServiceUnavailable:
+					or.Evil503++
+				default:
+					or.EvilErrors++
+					fmt.Fprintf(os.Stderr, "loadgen: overload: evil %s: status %d: %s\n",
+						view, res.status, bytes.TrimSpace(res.body))
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	storm.Wait()
+	or.GoodP99ms = percentileMS(goodLat, 99)
+	or.EvilRetryAfter = or.Evil429 > 0 && raMissing == 0
+
+	// Phase 2 — spent budgets: requests whose Silkroute-Budget is already
+	// gone must be refused 504 at the door, opening zero backend streams.
+	// The query log was just cleared; both replicas write to it, so any
+	// backend SQL at all fails the assertion.
+	db.EnableQueryLog()
+	for i := 0; i < 10; i++ {
+		res, err := fetch(httpc, baseURL+"/views/q1", map[string]string{
+			viewsvc.HeaderTenant: "good",
+			viewsvc.HeaderBudget: "100us",
+		})
+		or.BudgetRequests++
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: overload: budget probe: %v\n", err)
+			continue
+		}
+		if res.status == http.StatusGatewayTimeout {
+			or.Budget504++
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: overload: budget probe: status %d, want 504\n", res.status)
+		}
+	}
+	or.BudgetBackendQueries = len(db.QueryLog())
+
+	// Phase 3 — serve-stale: warm the fragment cache with one fresh
+	// fetch, kill every replica, and require a complete, byte-identical
+	// cached document flagged with the staleness headers. The breaker
+	// takes a few failures to settle into the all-unhealthy state the
+	// degradation path keys on, so poll briefly.
+	warm, err := fetch(httpc, baseURL+"/views/fragment", map[string]string{viewsvc.HeaderTenant: "good"})
+	if err != nil || warm.status != http.StatusOK || !bytes.Equal(warm.body, goldens["fragment"]) {
+		return fail("stale warmup failed (err=%v status=%d)", err, statusOf(warm))
+	}
+	stopBackends()
+	staleDeadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(staleDeadline) {
+		res, err := fetch(httpc, baseURL+"/views/fragment", map[string]string{viewsvc.HeaderTenant: "good"})
+		if err == nil && res.status == http.StatusOK && res.header.Get(viewsvc.HeaderStale) == "true" {
+			or.StaleServed = true
+			or.StaleAge = res.header.Get(viewsvc.HeaderStaleAge)
+			or.StaleIdentical = bytes.Equal(res.body, goldens["fragment"])
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	or.OK = or.GoodRequests > 0 && or.GoodErrors == 0 && or.GoodMismatches == 0 &&
+		or.GoodRejected == 0 && or.GoodP99ms <= float64(maxGoodP99/time.Millisecond) &&
+		or.Evil429 > 0 && or.EvilRetryAfter && or.EvilErrors == 0 &&
+		or.Budget504 == or.BudgetRequests && or.BudgetBackendQueries == 0 &&
+		or.StaleServed && or.StaleIdentical
+	return or
+}
+
+func statusOf(res *fetchResult) int {
+	if res == nil {
+		return 0
+	}
+	return res.status
+}
+
 func percentileMS(durs []time.Duration, p int) float64 {
 	if len(durs) == 0 {
 		return 0
@@ -583,8 +966,24 @@ func percentileMS(durs []time.Duration, p int) float64 {
 }
 
 func printSummary(rep *report) {
-	fmt.Printf("loadgen: %d clients × %d rounds over %d views — %d requests, %d mismatches, %d errors\n",
-		rep.Clients, rep.Rounds, rep.Views, rep.Requests, rep.Mismatches, rep.Errors)
+	if o := rep.Overload; o != nil {
+		fmt.Printf("overload: %d slots, %d offered clients, one replica chaos-killed\n", o.Slots, o.OfferedClients)
+		fmt.Printf("  good: %d requests — %d rejected, %d errors, %d mismatches, p99 %.2fms\n",
+			o.GoodRequests, o.GoodRejected, o.GoodErrors, o.GoodMismatches, o.GoodP99ms)
+		fmt.Printf("  evil: %d requests — %d ok, %d×429 (Retry-After on all: %v), %d×503, %d errors\n",
+			o.EvilRequests, o.Evil200, o.Evil429, o.EvilRetryAfter, o.Evil503, o.EvilErrors)
+		fmt.Printf("  budget: %d spent-budget requests — %d×504, %d backend queries\n",
+			o.BudgetRequests, o.Budget504, o.BudgetBackendQueries)
+		fmt.Printf("  stale: served=%v identical=%v age=%s\n", o.StaleServed, o.StaleIdentical, o.StaleAge)
+		if o.OK {
+			fmt.Println("loadgen: PASS")
+		} else {
+			fmt.Println("loadgen: FAIL")
+		}
+		return
+	}
+	fmt.Printf("loadgen: %d clients × %d rounds over %d views — %d requests, %d mismatches, %d errors, %d×429, %d×503\n",
+		rep.Clients, rep.Rounds, rep.Views, rep.Requests, rep.Mismatches, rep.Errors, rep.Rejected429, rep.Rejected503)
 	fmt.Printf("latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n", rep.P50ms, rep.P95ms, rep.P99ms)
 	views := make([]string, 0, len(rep.PerView))
 	for v := range rep.PerView {

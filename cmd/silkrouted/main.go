@@ -15,13 +15,24 @@
 //	GET /views                  list registered views (JSON)
 //	GET /views/{name}           stream the XML document (?strategy= overrides)
 //	GET /views/{name}/explain   the plan and SQL, without executing
-//	GET /sessions               live streams (JSON)
+//	GET /sessions               live streams (JSON): tenant, remaining budget, bytes
+//	GET /tenants                per-tenant quota state (JSON)
 //	GET /metrics, /healthz      Prometheus metrics and liveness
 //	PUT/DELETE /views/{name}    register/remove a view (-admin only)
 //
 // Admission control refuses work beyond -max-concurrent with 503 +
-// Retry-After instead of queueing. SIGTERM drains gracefully: in-flight
-// streams finish (never truncated), new requests are refused.
+// Retry-After instead of queueing; per-tenant quotas (-tenant-rate,
+// -tenant-burst, -tenant-concurrent, -tenants, -api-keys) answer 429
+// before a tenant's burst can reach the shared slots. Requests identify
+// their tenant with a Silkroute-Tenant header or an API key, and may
+// declare a deadline budget with Silkroute-Budget ("250ms"): the server
+// serves within it and propagates the remainder to its backends, so work
+// the client can no longer use is abandoned everywhere. With -serve-stale
+// (requires -fragment-cache), a view whose backend is entirely down is
+// answered from its last complete cached document, flagged with
+// Silkroute-Stale headers. -reload polls -views for changed definitions
+// and swaps them in without a restart. SIGTERM drains gracefully:
+// in-flight streams finish (never truncated), new requests are refused.
 //
 // The backend is the built-in TPC-H generator (-scale/-seed), a CSV
 // directory (-data), one remote silkroute -serve database (-connect), a
@@ -71,7 +82,14 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", viewsvc.DefaultMaxConcurrent, "concurrent materializations admitted; beyond it 503 + Retry-After")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline, admission through last byte (0 = none)")
 	maxBytes := flag.Int64("max-bytes", 0, "abort responses past this many bytes, fail-closed (0 = none)")
-	retryAfter := flag.Duration("retry-after", viewsvc.DefaultRetryAfter, "backoff hint on 503 responses")
+	retryAfter := flag.Duration("retry-after", viewsvc.DefaultRetryAfter, "fallback backoff hint on 503 responses (drain-derived when sessions are live)")
+	tenantRate := flag.Float64("tenant-rate", 0, "default per-tenant sustained requests/second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "default per-tenant burst depth for -tenant-rate")
+	tenantConcurrent := flag.Int("tenant-concurrent", 0, "default per-tenant concurrent-stream quota (0 = global limit only)")
+	tenants := flag.String("tenants", "", `per-tenant limit overrides, "name=rate:burst:concurrent,..." (empty field = unlimited)`)
+	apiKeys := flag.String("api-keys", "", `API key to tenant bindings, "key=tenant,..." (keys outrank the Silkroute-Tenant header)`)
+	serveStale := flag.Bool("serve-stale", false, "serve the last complete cached document (flagged Silkroute-Stale) when the backend is entirely down; requires -fragment-cache")
+	reload := flag.Duration("reload", 0, "poll -views for changed definitions at this interval and hot-swap them (0 = off)")
 	grace := flag.Duration("grace", 30*time.Second, "drain grace after SIGTERM before force-closing streams")
 	noReduce := flag.Bool("no-reduce", false, "disable view-tree reduction")
 	parallelism := flag.Int("parallelism", 0, "concurrent partition queries per request (0 = one per CPU)")
@@ -87,6 +105,20 @@ func main() {
 	strat, err := silkroute.ParseStrategy(*strategy)
 	if err != nil {
 		fatal(err)
+	}
+	tenantLimits, err := parseTenants(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+	keyTable, err := parseAPIKeys(*apiKeys)
+	if err != nil {
+		fatal(err)
+	}
+	if *serveStale && *fragCache == 0 {
+		fatal(fmt.Errorf("-serve-stale needs a cached document to serve: pass -fragment-cache BYTES"))
+	}
+	if *reload > 0 && *viewsDir == "" {
+		fatal(fmt.Errorf("-reload watches the -views directory: pass -views DIR"))
 	}
 
 	// One option list configures everything: the backend connection
@@ -198,10 +230,24 @@ func main() {
 		Admin:   *admin,
 		Backend: backend,
 		Options: opts,
+		Tenants: tenantLimits,
+		TenantDefaults: viewsvc.TenantLimits{
+			Rate:          *tenantRate,
+			Burst:         *tenantBurst,
+			MaxConcurrent: *tenantConcurrent,
+		},
+		APIKeys:    keyTable,
+		ServeStale: *serveStale,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *reload > 0 {
+		w := reg.NewWatcher(*viewsDir, backend, opts...)
+		go w.Run(ctx, *reload)
+		fmt.Fprintf(os.Stderr, "silkrouted: watching %s every %s for view changes\n", *viewsDir, *reload)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -212,6 +258,58 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "silkrouted: drained cleanly")
+}
+
+// parseTenants parses "name=rate:burst:concurrent,..." into per-tenant
+// limit overrides. Any of the three fields may be empty (that dimension
+// stays unlimited); trailing fields may be omitted.
+func parseTenants(spec string) (map[string]viewsvc.TenantLimits, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]viewsvc.TenantLimits)
+	for _, item := range strings.Split(spec, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf(`-tenants: %q is not "name=rate:burst:concurrent"`, item)
+		}
+		var l viewsvc.TenantLimits
+		for i, f := range strings.SplitN(rest, ":", 3) {
+			if f == "" {
+				continue
+			}
+			var err error
+			switch i {
+			case 0:
+				_, err = fmt.Sscanf(f, "%g", &l.Rate)
+			case 1:
+				_, err = fmt.Sscanf(f, "%d", &l.Burst)
+			case 2:
+				_, err = fmt.Sscanf(f, "%d", &l.MaxConcurrent)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("-tenants: tenant %s: bad field %q: %w", name, f, err)
+			}
+		}
+		out[name] = l
+	}
+	return out, nil
+}
+
+// parseAPIKeys parses "key=tenant,..." into the API-key table.
+func parseAPIKeys(spec string) (map[string]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, item := range strings.Split(spec, ",") {
+		key, tenant, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok || key == "" || tenant == "" {
+			return nil, fmt.Errorf(`-api-keys: %q is not "key=tenant"`, item)
+		}
+		out[key] = tenant
+	}
+	return out, nil
 }
 
 // scaleFor returns the generator scale: zero (empty tables) when a CSV

@@ -19,6 +19,7 @@ package fragcache
 import (
 	"io"
 	"sync"
+	"time"
 
 	"silkroute/internal/obs"
 )
@@ -62,11 +63,18 @@ type Entry struct {
 	Tables []string
 	// Stamp is the freshness observed before the producing query ran.
 	Stamp Stamp
+	// StoredAt is when the entry was committed to the cache. The serve-stale
+	// degradation path reports it to clients as the staleness age, so a
+	// consumer of a degraded response knows how old its document is.
+	StoredAt time.Time
 
 	bytes      int64
 	key        uint64
 	prev, next *Entry // LRU list; most-recent at head
 }
+
+// Age returns how long ago the entry was committed.
+func (e *Entry) Age() time.Duration { return time.Since(e.StoredAt) }
 
 // Bytes returns the entry's total payload size.
 func (e *Entry) Bytes() int64 { return e.bytes }
@@ -134,7 +142,7 @@ func (c *Cache) Put(key uint64, fragments [][]byte, tables []string, stamp Stamp
 	if c.max > 0 && size > c.max {
 		return nil
 	}
-	e := &Entry{Fragments: fragments, Tables: tables, Stamp: stamp, bytes: size, key: key}
+	e := &Entry{Fragments: fragments, Tables: tables, Stamp: stamp, StoredAt: time.Now(), bytes: size, key: key}
 
 	c.mu.Lock()
 	if old := c.entries[key]; old != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func frags(parts ...string) [][]byte {
@@ -189,5 +190,24 @@ func TestRecorderEmptyDocument(t *testing.T) {
 	fr := r.Fragments()
 	if len(fr) != 1 || len(fr[0]) != 0 {
 		t.Fatalf("empty recorder fragments = %v", fr)
+	}
+}
+
+// TestStoredAtAndAge: Put stamps the commit instant, so the serve-stale
+// path can report an honest document age; replacing an entry re-stamps it.
+func TestStoredAtAndAge(t *testing.T) {
+	c := New(0)
+	before := time.Now()
+	e := c.Put(1, frags("doc"), []string{"orders"}, Stamp{})
+	if e.StoredAt.Before(before) || e.StoredAt.After(time.Now()) {
+		t.Fatalf("StoredAt = %v, want within the Put call", e.StoredAt)
+	}
+	if age := e.Age(); age < 0 {
+		t.Fatalf("Age = %v, want non-negative", age)
+	}
+	old := e.StoredAt
+	time.Sleep(5 * time.Millisecond)
+	if e2 := c.Put(1, frags("doc2"), []string{"orders"}, Stamp{}); !e2.StoredAt.After(old) {
+		t.Fatalf("replacement StoredAt %v not after original %v", e2.StoredAt, old)
 	}
 }

@@ -10,25 +10,33 @@ func TestHTTPMetricsNilSafe(t *testing.T) {
 	var m *Metrics
 	m.HTTPSessionOpen()
 	m.HTTPReject()
-	m.HTTPRequestStart("q1")
-	m.HTTPRequestEnd("q1", time.Millisecond, 10, false)
+	m.HTTPRejectTenant("acme")
+	m.HTTPBudgetExpired()
+	m.HTTPStaleServe()
+	m.ViewReload(true)
+	m.HTTPRequestStart("q1", "acme")
+	m.HTTPRequestEnd("q1", "acme", time.Millisecond, 10, false)
 
 	var h *HTTPMetrics
 	if s := h.View("q1"); s != nil {
 		t.Fatal("nil HTTPMetrics returned a series")
 	}
+	if s := h.Tenant("acme"); s != nil {
+		t.Fatal("nil HTTPMetrics returned a tenant series")
+	}
 	h.EachView(func(string, *ViewSeries) { t.Fatal("nil HTTPMetrics iterated") })
+	h.EachTenant(func(string, *TenantSeries) { t.Fatal("nil HTTPMetrics iterated tenants") })
 }
 
 func TestHTTPMetricsPerViewSeries(t *testing.T) {
 	m := &Metrics{}
 	m.HTTPSessionOpen()
-	m.HTTPRequestStart("q1")
-	m.HTTPRequestEnd("q1", 5*time.Millisecond, 1000, false)
-	m.HTTPRequestStart("q1")
-	m.HTTPRequestEnd("q1", 7*time.Millisecond, 1200, true)
-	m.HTTPRequestStart("q2")
-	m.HTTPRequestEnd("q2", time.Millisecond, 50, false)
+	m.HTTPRequestStart("q1", "acme")
+	m.HTTPRequestEnd("q1", "acme", 5*time.Millisecond, 1000, false)
+	m.HTTPRequestStart("q1", "acme")
+	m.HTTPRequestEnd("q1", "acme", 7*time.Millisecond, 1200, true)
+	m.HTTPRequestStart("q2", "beta")
+	m.HTTPRequestEnd("q2", "beta", time.Millisecond, 50, false)
 	m.HTTPReject()
 
 	if got := m.HTTP.Requests.Value(); got != 3 {
@@ -60,12 +68,52 @@ func TestHTTPMetricsPerViewSeries(t *testing.T) {
 	}
 }
 
+func TestHTTPMetricsPerTenantSeries(t *testing.T) {
+	m := &Metrics{}
+	m.HTTPRequestStart("q1", "acme")
+	m.HTTPRequestEnd("q1", "acme", 5*time.Millisecond, 1000, false)
+	m.HTTPRequestStart("q1", "acme")
+	m.HTTPRequestEnd("q1", "acme", time.Millisecond, 200, false)
+	m.HTTPRequestStart("q2", "beta")
+	m.HTTPRequestEnd("q2", "beta", time.Millisecond, 50, false)
+	m.HTTPRejectTenant("acme")
+	m.HTTPRejectTenant("acme")
+
+	acme := m.HTTP.Tenant("acme")
+	if acme.Requests.Value() != 2 || acme.Rejected.Value() != 2 || acme.Bytes.Value() != 1200 {
+		t.Errorf("acme series = %d req, %d rej, %d bytes; want 2, 2, 1200",
+			acme.Requests.Value(), acme.Rejected.Value(), acme.Bytes.Value())
+	}
+	if got := acme.InFlight.Value(); got != 0 {
+		t.Errorf("acme InFlight = %d, want 0", got)
+	}
+	if got := m.HTTP.RejectedTenant.Value(); got != 2 {
+		t.Errorf("RejectedTenant = %d, want 2", got)
+	}
+
+	var order []string
+	m.HTTP.EachTenant(func(name string, _ *TenantSeries) { order = append(order, name) })
+	if len(order) != 2 || order[0] != "acme" || order[1] != "beta" {
+		t.Errorf("EachTenant order = %v, want [acme beta]", order)
+	}
+	if m.HTTP.Tenant("acme") != acme {
+		t.Error("Tenant returned a different series for the same name")
+	}
+}
+
 func TestPrometheusHTTPExposition(t *testing.T) {
 	m := &Metrics{}
 	m.HTTPSessionOpen()
-	m.HTTPRequestStart("fragment")
-	m.HTTPRequestEnd("fragment", 3*time.Millisecond, 512, false)
+	m.HTTPRequestStart("fragment", "acme")
+	m.HTTPRequestEnd("fragment", "acme", 3*time.Millisecond, 512, false)
 	m.HTTPReject()
+	m.HTTPRejectTenant("acme")
+	m.HTTPBudgetExpired()
+	m.HTTPStaleServe()
+	m.ViewReload(true)
+	m.ViewReload(false)
+	m.ClientBudgetExpired()
+	m.ServerBudgetRefused()
 
 	var b strings.Builder
 	m.WritePrometheus(&b)
@@ -73,11 +121,21 @@ func TestPrometheusHTTPExposition(t *testing.T) {
 	for _, want := range []string{
 		"silkroute_http_requests_total 1",
 		"silkroute_http_rejected_total 1",
+		"silkroute_http_rejected_tenant_total 1",
+		"silkroute_http_budget_expired_total 1",
+		"silkroute_http_stale_serves_total 1",
+		"silkroute_http_reloads_total 1",
+		"silkroute_http_reload_errors_total 1",
 		"silkroute_http_sessions_total 1",
 		"silkroute_http_inflight 0",
+		"silkroute_wire_client_budget_expired_total 1",
+		"silkroute_wire_server_budget_refused_total 1",
 		`silkroute_http_view_requests_total{view="fragment"} 1`,
 		`silkroute_http_view_bytes_total{view="fragment"} 512`,
 		`silkroute_http_view_request_seconds_count{view="fragment"} 1`,
+		`silkroute_http_tenant_requests_total{tenant="acme"} 1`,
+		`silkroute_http_tenant_rejected_total{tenant="acme"} 1`,
+		`silkroute_http_tenant_bytes_total{tenant="acme"} 512`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition lacks %q", want)

@@ -257,6 +257,11 @@ type ClientMetrics struct {
 	// NoHealthyReplica counts balancer picks that failed closed because
 	// every replica was open-circuit.
 	NoHealthyReplica Counter
+	// BudgetExpired counts requests refused client-side before any
+	// connection was acquired because their propagated deadline budget had
+	// already run out — work the caller could no longer use, shed at zero
+	// cost instead of opening a doomed backend stream.
+	BudgetExpired Counter
 	// Replicas is the configured replica count of the most recent
 	// ReplicaSet (0 when running single-backend).
 	Replicas Gauge
@@ -324,14 +329,50 @@ type ViewSeries struct {
 	Latency Histogram
 }
 
+// TenantSeries is one tenant's share of the HTTP view service: admitted
+// requests, quota rejections, in-flight streams, and streamed bytes.
+// Entries are created on first use and live for the process lifetime
+// (tenant tables are small — a handful of configured identities plus a
+// default bucket, not millions of keys).
+type TenantSeries struct {
+	// Requests counts view requests admitted for this tenant.
+	Requests Counter
+	// Rejected counts requests refused by this tenant's own quota (429:
+	// token bucket empty or concurrency quota full).
+	Rejected Counter
+	// InFlight is the number of this tenant's responses currently
+	// streaming.
+	InFlight Gauge
+	// Bytes counts response bytes streamed for this tenant.
+	Bytes Counter
+}
+
 // HTTPMetrics covers the multi-tenant HTTP view service (silkrouted): the
-// server-wide admission picture plus one labeled series per view.
+// server-wide admission picture plus one labeled series per view and per
+// tenant.
 type HTTPMetrics struct {
 	// Requests counts HTTP view requests accepted for service.
 	Requests Counter
 	// Rejected counts requests refused by admission control (503 +
 	// Retry-After: the concurrency semaphore was saturated).
 	Rejected Counter
+	// RejectedTenant counts requests refused by a per-tenant quota (429 +
+	// Retry-After: the tenant's token bucket was empty or its concurrency
+	// quota full) — shed before they could touch the global semaphore.
+	RejectedTenant Counter
+	// BudgetExpired counts requests refused at admission because the
+	// client-declared deadline budget had already run out (504 without
+	// occupying a slot).
+	BudgetExpired Counter
+	// StaleServes counts responses served from a stale fragment-cache
+	// entry because every backend replica was unhealthy (the
+	// Silkroute-Stale: true degradation path).
+	StaleServes Counter
+	// Reloads counts view/topology files hot-reloaded from the view dir.
+	Reloads Counter
+	// ReloadErrors counts hot-reload attempts that failed (the previous
+	// binding stays in service).
+	ReloadErrors Counter
 	// InFlight is the number of view responses currently streaming.
 	InFlight Gauge
 	// Sessions counts sessions opened over the process lifetime.
@@ -339,6 +380,8 @@ type HTTPMetrics struct {
 
 	// views maps view name → *ViewSeries, created on first touch.
 	views sync.Map
+	// tenants maps tenant name → *TenantSeries, created on first touch.
+	tenants sync.Map
 }
 
 // View returns the named view's series, creating it on first use. Safe on
@@ -372,6 +415,37 @@ func (h *HTTPMetrics) EachView(fn func(name string, s *ViewSeries)) {
 	}
 }
 
+// Tenant returns the named tenant's series, creating it on first use.
+// Safe on a nil receiver (returns nil, whose methods are all no-ops).
+func (h *HTTPMetrics) Tenant(name string) *TenantSeries {
+	if h == nil {
+		return nil
+	}
+	if s, ok := h.tenants.Load(name); ok {
+		return s.(*TenantSeries)
+	}
+	s, _ := h.tenants.LoadOrStore(name, &TenantSeries{})
+	return s.(*TenantSeries)
+}
+
+// EachTenant calls fn for every tenant series, in lexical name order.
+func (h *HTTPMetrics) EachTenant(fn func(name string, s *TenantSeries)) {
+	if h == nil {
+		return
+	}
+	var names []string
+	h.tenants.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	for _, n := range names {
+		if s, ok := h.tenants.Load(n); ok {
+			fn(n, s.(*TenantSeries))
+		}
+	}
+}
+
 // ServerMetrics covers the wire server.
 type ServerMetrics struct {
 	// Requests counts wire requests served (queries + estimates).
@@ -388,6 +462,9 @@ type ServerMetrics struct {
 	// DeadlinesExceeded counts requests abandoned at the server's
 	// per-request deadline.
 	DeadlinesExceeded Counter
+	// BudgetRefused counts budgeted requests the server refused without
+	// executing because the budget that rode the wire was already spent.
+	BudgetRefused Counter
 }
 
 // Metrics is one observability sink: every layer's metric set plus the
@@ -748,8 +825,50 @@ func (m *Metrics) HTTPReject() {
 	m.HTTP.Rejected.Inc()
 }
 
+// HTTPRejectTenant records a request refused by the named tenant's quota
+// (429).
+func (m *Metrics) HTTPRejectTenant(tenant string) {
+	if m == nil {
+		return
+	}
+	m.HTTP.RejectedTenant.Inc()
+	m.HTTP.Tenant(tenant).Rejected.Inc()
+}
+
+// HTTPBudgetExpired records a request refused at admission because its
+// declared deadline budget had already run out.
+func (m *Metrics) HTTPBudgetExpired() {
+	if m == nil {
+		return
+	}
+	m.HTTP.BudgetExpired.Inc()
+}
+
+// HTTPStaleServe records a response served whole from a stale
+// fragment-cache entry while the backend was unhealthy.
+func (m *Metrics) HTTPStaleServe() {
+	if m == nil {
+		return
+	}
+	m.HTTP.StaleServes.Inc()
+}
+
+// ViewReload records the outcome of one hot-reload attempt from the view
+// dir: a swap that took effect, or a failure that left the previous
+// binding serving.
+func (m *Metrics) ViewReload(ok bool) {
+	if m == nil {
+		return
+	}
+	if ok {
+		m.HTTP.Reloads.Inc()
+	} else {
+		m.HTTP.ReloadErrors.Inc()
+	}
+}
+
 // HTTPRequestStart records a view request admitted for service.
-func (m *Metrics) HTTPRequestStart(view string) {
+func (m *Metrics) HTTPRequestStart(view, tenant string) {
 	if m == nil {
 		return
 	}
@@ -758,11 +877,14 @@ func (m *Metrics) HTTPRequestStart(view string) {
 	s := m.HTTP.View(view)
 	s.Requests.Inc()
 	s.InFlight.Inc()
+	t := m.HTTP.Tenant(tenant)
+	t.Requests.Inc()
+	t.InFlight.Inc()
 }
 
 // HTTPRequestEnd records a view request finishing: its latency, streamed
 // bytes, and whether it failed after admission.
-func (m *Metrics) HTTPRequestEnd(view string, d time.Duration, bytes int64, failed bool) {
+func (m *Metrics) HTTPRequestEnd(view, tenant string, d time.Duration, bytes int64, failed bool) {
 	if m == nil {
 		return
 	}
@@ -774,6 +896,9 @@ func (m *Metrics) HTTPRequestEnd(view string, d time.Duration, bytes int64, fail
 	if failed {
 		s.Errors.Inc()
 	}
+	t := m.HTTP.Tenant(tenant)
+	t.InFlight.Dec()
+	t.Bytes.Add(bytes)
 }
 
 // ServerRequestStart records a wire request starting on the server.
@@ -795,6 +920,25 @@ func (m *Metrics) ServerRequestEnd(d time.Duration, deadlineExceeded bool) {
 	if deadlineExceeded {
 		m.Server.DeadlinesExceeded.Inc()
 	}
+}
+
+// ClientBudgetExpired records a request shed client-side because its
+// propagated deadline budget had already run out before a connection was
+// acquired.
+func (m *Metrics) ClientBudgetExpired() {
+	if m == nil {
+		return
+	}
+	m.Client.BudgetExpired.Inc()
+}
+
+// ServerBudgetRefused records a budgeted wire request the server refused
+// without executing because its budget was already spent.
+func (m *Metrics) ServerBudgetRefused() {
+	if m == nil {
+		return
+	}
+	m.Server.BudgetRefused.Inc()
 }
 
 // ServerSent records result rows and payload bytes streamed to a client.

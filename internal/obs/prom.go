@@ -78,16 +78,25 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	counter("silkroute_wire_client_scatter_streams_total", "Per-shard partial streams opened by scatter queries.", m.Client.ScatterStreams.Value())
 	summary("silkroute_wire_shard_merge_seconds", "Sharded k-way merge wall-clock in seconds, scatter open to drained stream.", &m.Client.ShardMergeSeconds)
 
+	counter("silkroute_wire_client_budget_expired_total", "Wire requests shed client-side with an already-spent deadline budget.", m.Client.BudgetExpired.Value())
+
 	counter("silkroute_http_requests_total", "HTTP view requests admitted for service.", m.HTTP.Requests.Value())
 	counter("silkroute_http_rejected_total", "HTTP requests refused by admission control (503 + Retry-After).", m.HTTP.Rejected.Value())
+	counter("silkroute_http_rejected_tenant_total", "HTTP requests refused by a per-tenant quota (429 + Retry-After).", m.HTTP.RejectedTenant.Value())
+	counter("silkroute_http_budget_expired_total", "HTTP requests refused at admission with an already-spent deadline budget (504).", m.HTTP.BudgetExpired.Value())
+	counter("silkroute_http_stale_serves_total", "Responses served whole from a stale fragment-cache entry while the backend was unhealthy.", m.HTTP.StaleServes.Value())
+	counter("silkroute_http_reloads_total", "View/topology files hot-reloaded from the view dir.", m.HTTP.Reloads.Value())
+	counter("silkroute_http_reload_errors_total", "Hot-reload attempts that failed, previous binding kept.", m.HTTP.ReloadErrors.Value())
 	counter("silkroute_http_sessions_total", "HTTP sessions opened.", m.HTTP.Sessions.Value())
 	gauge("silkroute_http_inflight", "HTTP view responses currently streaming.", m.HTTP.InFlight.Value())
 	m.writeViewSeries(b)
+	m.writeTenantSeries(b)
 
 	counter("silkroute_wire_server_requests_total", "Wire requests served.", m.Server.Requests.Value())
 	counter("silkroute_wire_server_rows_sent_total", "Result rows streamed to wire clients.", m.Server.RowsSent.Value())
 	counter("silkroute_wire_server_bytes_sent_total", "Result payload bytes streamed to wire clients.", m.Server.BytesSent.Value())
 	counter("silkroute_wire_server_deadline_exceeded_total", "Wire requests abandoned at the server-side deadline.", m.Server.DeadlinesExceeded.Value())
+	counter("silkroute_wire_server_budget_refused_total", "Budgeted wire requests refused without executing: budget already spent.", m.Server.BudgetRefused.Value())
 	gauge("silkroute_wire_server_inflight", "Wire requests currently executing on the server.", m.Server.InFlight.Value())
 	summary("silkroute_wire_server_request_seconds", "End-to-end wire request latency in seconds.", &m.Server.RequestSeconds)
 }
@@ -128,6 +137,34 @@ func (m *Metrics) writeViewSeries(b *strings.Builder) {
 		fmt.Fprintf(b, "%s_sum{view=%q} %g\n%s_count{view=%q} %d\n",
 			lat, r.name, time.Duration(r.s.Latency.Sum()).Seconds(), lat, r.name, r.s.Latency.Count())
 	}
+}
+
+// writeTenantSeries renders the per-tenant HTTP series, one labeled sample
+// per tenant seen, in lexical name order so scrapes are diff-stable.
+func (m *Metrics) writeTenantSeries(b *strings.Builder) {
+	type row struct {
+		name string
+		s    *TenantSeries
+	}
+	var rows []row
+	m.HTTP.EachTenant(func(name string, s *TenantSeries) { rows = append(rows, row{name, s}) })
+	if len(rows) == 0 {
+		return
+	}
+	emit := func(metric, typ, help string, v func(*TenantSeries) int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for _, r := range rows {
+			fmt.Fprintf(b, "%s{tenant=%q} %d\n", metric, r.name, v(r.s))
+		}
+	}
+	emit("silkroute_http_tenant_requests_total", "counter", "View requests admitted, per tenant.",
+		func(s *TenantSeries) int64 { return s.Requests.Value() })
+	emit("silkroute_http_tenant_rejected_total", "counter", "Requests refused by the tenant's quota (429), per tenant.",
+		func(s *TenantSeries) int64 { return s.Rejected.Value() })
+	emit("silkroute_http_tenant_bytes_total", "counter", "Response bytes streamed, per tenant.",
+		func(s *TenantSeries) int64 { return s.Bytes.Value() })
+	emit("silkroute_http_tenant_inflight", "gauge", "Responses currently streaming, per tenant.",
+		func(s *TenantSeries) int64 { return s.InFlight.Value() })
 }
 
 // Handler returns an http.Handler serving /metrics (Prometheus text) and

@@ -237,44 +237,67 @@ func (r *Registry) LoadDir(dir string, b silkroute.Backend, opts ...silkroute.Op
 	}
 	sort.Strings(files)
 	for _, path := range files {
-		name := strings.TrimSuffix(filepath.Base(path), ".rxl")
-		raw, rerr := os.ReadFile(path)
-		if rerr != nil {
-			r.RegisterBroken(name, rerr, "", path)
+		if r.loadFile(path, b, opts) {
+			ok++
+		} else {
 			broken++
-			continue
 		}
-		src := string(raw)
-		backend := b
-		tpath := strings.TrimSuffix(path, ".rxl") + ".topology"
-		if traw, terr := os.ReadFile(tpath); terr == nil {
-			tsrc := string(traw)
-			topo, perr := silkroute.ParseTopology(tsrc)
-			if perr != nil {
-				r.RegisterBroken(name, describeTopologyError(perr, tsrc, tpath), src, path)
-				broken++
-				continue
-			}
-			be, derr := r.backendFor(topo, b, opts)
-			if derr != nil {
-				r.RegisterBroken(name, fmt.Errorf("%s: %w", tpath, derr), src, path)
-				broken++
-				continue
-			}
-			backend = be
-		} else if !errors.Is(terr, fs.ErrNotExist) {
-			r.RegisterBroken(name, terr, src, path)
-			broken++
-			continue
-		}
-		h, cerr := silkroute.NewHandle(name, backend, src, opts...)
-		if cerr != nil {
-			r.RegisterBroken(name, describeParseError(cerr, src, path), src, path)
-			broken++
-			continue
-		}
-		r.Register(name, h, src, path)
-		ok++
 	}
 	return ok, broken, nil
+}
+
+// loadFile compiles one "*.rxl" file (with its optional topology sidecar)
+// into the registry — a live entry on success, a broken one carrying the
+// diagnostic otherwise. It reports whether the entry is live. LoadDir and
+// the hot-reload watcher share it, so a reload behaves exactly like the
+// original load.
+func (r *Registry) loadFile(path string, b silkroute.Backend, opts []silkroute.Option) bool {
+	name := strings.TrimSuffix(filepath.Base(path), ".rxl")
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil {
+		r.RegisterBroken(name, rerr, "", path)
+		return false
+	}
+	src := string(raw)
+	backend := b
+	tpath := strings.TrimSuffix(path, ".rxl") + ".topology"
+	if traw, terr := os.ReadFile(tpath); terr == nil {
+		tsrc := string(traw)
+		topo, perr := silkroute.ParseTopology(tsrc)
+		if perr != nil {
+			r.RegisterBroken(name, describeTopologyError(perr, tsrc, tpath), src, path)
+			return false
+		}
+		be, derr := r.backendFor(topo, b, opts)
+		if derr != nil {
+			r.RegisterBroken(name, fmt.Errorf("%s: %w", tpath, derr), src, path)
+			return false
+		}
+		backend = be
+	} else if !errors.Is(terr, fs.ErrNotExist) {
+		r.RegisterBroken(name, terr, src, path)
+		return false
+	}
+	h, cerr := silkroute.NewHandle(name, backend, src, opts...)
+	if cerr != nil {
+		r.RegisterBroken(name, describeParseError(cerr, src, path), src, path)
+		return false
+	}
+	r.Register(name, h, src, path)
+	return true
+}
+
+// removeIfOrigin deletes name only if its entry still originates from
+// origin. The hot-reload watcher uses it for deleted files: a view an
+// admin has since replaced over HTTP must not be evicted by the file
+// going away.
+func (r *Registry) removeIfOrigin(name, origin string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok || e.origin != origin {
+		return false
+	}
+	delete(r.entries, name)
+	return true
 }

@@ -1,0 +1,147 @@
+// Tests for hot view reload: the watcher picks up edits and deletions,
+// degrades broken edits to that one view, leaves already-issued handles
+// untouched (in-flight streams finish on the binding they started with),
+// and never removes a view an admin has since replaced over HTTP.
+package viewsvc
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"silkroute/internal/rxl"
+)
+
+// touch bumps the file's mtime well clear of the previous signature, so a
+// same-size edit still reads as changed on filesystems with coarse mtime.
+func touch(t *testing.T, path string) {
+	t.Helper()
+	now := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, now, now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatcherRescanReloadsAndRemoves(t *testing.T) {
+	db, goldens := fixture(t)
+	dir := t.TempDir()
+	aPath := filepath.Join(dir, "a.rxl")
+	bPath := filepath.Join(dir, "b.rxl")
+	for _, p := range []string{aPath, bPath} {
+		if err := os.WriteFile(p, []byte(rxl.FragmentSource), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry()
+	if ok, broken, err := reg.LoadDir(dir, db); ok != 2 || broken != 0 || err != nil {
+		t.Fatalf("LoadDir = (%d, %d, %v), want (2, 0, nil)", ok, broken, err)
+	}
+	w := reg.NewWatcher(dir, db)
+
+	// Nothing changed since the baseline: the rescan is a no-op.
+	if r, rm, f := w.Rescan(); r != 0 || rm != 0 || f != 0 {
+		t.Fatalf("idle Rescan = (%d, %d, %d), want (0, 0, 0)", r, rm, f)
+	}
+
+	// An in-flight stream holds the old binding across the swap: the
+	// handle issued before the edit keeps materializing the old document.
+	oldHandle, herr, found := reg.Lookup("a")
+	if !found || herr != nil {
+		t.Fatalf("lookup a: found=%v err=%v", found, herr)
+	}
+
+	newSrc := "from Supplier $s\nconstruct <s>$s.name</s>\n"
+	if err := os.WriteFile(aPath, []byte(newSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	touch(t, aPath)
+	if r, rm, f := w.Rescan(); r != 1 || rm != 0 || f != 0 {
+		t.Fatalf("edit Rescan = (%d, %d, %d), want (1, 0, 0)", r, rm, f)
+	}
+
+	newHandle, herr, found := reg.Lookup("a")
+	if !found || herr != nil {
+		t.Fatalf("lookup a after reload: found=%v err=%v", found, herr)
+	}
+	var newDoc bytes.Buffer
+	if _, err := newHandle.Materialize(context.Background(), &newDoc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(newDoc.String(), "<s>") || bytes.Equal(newDoc.Bytes(), goldens["fragment"]) {
+		t.Errorf("reloaded view still serves the old document: %s", truncate(newDoc.Bytes(), 80))
+	}
+	var oldDoc bytes.Buffer
+	if _, err := oldHandle.Materialize(context.Background(), &oldDoc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oldDoc.Bytes(), goldens["fragment"]) {
+		t.Error("handle issued before the reload no longer serves its original document")
+	}
+
+	// A broken edit degrades that one view — positioned diagnostic, the
+	// sibling untouched — and counts as a failure, not a reload.
+	if err := os.WriteFile(bPath, []byte("from Supplier $s\nwhere $s.name ^ 3\nconstruct <x/>\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	touch(t, bPath)
+	if r, rm, f := w.Rescan(); r != 0 || rm != 0 || f != 1 {
+		t.Fatalf("broken-edit Rescan = (%d, %d, %d), want (0, 0, 1)", r, rm, f)
+	}
+	_, berr, found := reg.Lookup("b")
+	if !found || berr == nil {
+		t.Fatal("broken edit did not degrade the view")
+	}
+	if !strings.Contains(berr.Error(), "b.rxl:2:15") {
+		t.Errorf("broken diagnostic %q lacks the position", berr)
+	}
+
+	// Deleting the file unregisters the view.
+	if err := os.Remove(bPath); err != nil {
+		t.Fatal(err)
+	}
+	if r, rm, f := w.Rescan(); r != 0 || rm != 1 || f != 0 {
+		t.Fatalf("delete Rescan = (%d, %d, %d), want (0, 1, 0)", r, rm, f)
+	}
+	if _, _, found := reg.Lookup("b"); found {
+		t.Error("deleted view still registered")
+	}
+}
+
+// TestWatcherAdminReplacementOutranksFileDeletion: once an admin replaces
+// a file-backed view over HTTP, deleting the original file must not take
+// the view down — the admin's registration owns the name now.
+func TestWatcherAdminReplacementOutranksFileDeletion(t *testing.T) {
+	db, _ := fixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.rxl")
+	if err := os.WriteFile(path, []byte(rxl.FragmentSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if ok, _, err := reg.LoadDir(dir, db); ok != 1 || err != nil {
+		t.Fatalf("LoadDir = (%d, %v), want (1, nil)", ok, err)
+	}
+	w := reg.NewWatcher(dir, db)
+
+	adminSrc := "from Supplier $s\nconstruct <s>$s.name</s>\n"
+	h, err := Compile("v", db, adminSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Register("v", h, adminSrc, "admin")
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, rm, _ := w.Rescan(); rm != 0 {
+		t.Fatalf("Rescan removed %d views, want 0 (admin replacement outranks the file)", rm)
+	}
+	got, herr, found := reg.Lookup("v")
+	if !found || herr != nil || got != h {
+		t.Errorf("admin registration lost: found=%v err=%v sameHandle=%v", found, herr, got == h)
+	}
+}

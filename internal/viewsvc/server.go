@@ -80,6 +80,24 @@ type Config struct {
 	Options []silkroute.Option
 	// Hooks are optional instrumentation points.
 	Hooks Hooks
+	// Tenants assigns per-tenant overload limits by tenant name. Tenants
+	// not listed here get TenantDefaults.
+	Tenants map[string]TenantLimits
+	// TenantDefaults applies to every tenant without an explicit entry in
+	// Tenants (including DefaultTenant). The zero value imposes no
+	// per-tenant limits — only the global semaphore gates.
+	TenantDefaults TenantLimits
+	// APIKeys maps API keys (Authorization: Bearer or X-Api-Key) to tenant
+	// names. A recognized key outranks the Silkroute-Tenant header; an
+	// empty map disables key lookup.
+	APIKeys map[string]string
+	// ServeStale opts the HTTP surface into graceful degradation: when the
+	// backend is entirely unhealthy and no fresh byte has been written, a
+	// view's last complete fragment-cache entry is served with
+	// Silkroute-Stale headers instead of an error. Views need a fragment
+	// cache (WithFragmentCache) for this to ever apply; without a cached
+	// entry the request fails closed exactly as before.
+	ServeStale bool
 }
 
 // Server is the listener/lifecycle half of the view service: it owns the
@@ -89,6 +107,7 @@ type Server struct {
 	cfg      Config
 	sem      chan struct{}
 	sessions *sessionTable
+	tenants  *tenantTable
 	httpSrv  *http.Server
 }
 
@@ -102,6 +121,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Limits.maxConcurrent()),
 		sessions: newSessionTable(),
+		tenants:  newTenantTable(cfg.Tenants, cfg.TenantDefaults),
 	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	return s

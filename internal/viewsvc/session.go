@@ -3,6 +3,7 @@ package viewsvc
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,8 +15,21 @@ type Session struct {
 	ID         uint64    `json:"id"`
 	View       string    `json:"view"`
 	Strategy   string    `json:"strategy"`
+	Tenant     string    `json:"tenant"`
 	RemoteAddr string    `json:"remote_addr"`
 	Started    time.Time `json:"started"`
+	// Deadline is the request's effective deadline (zero when unbounded).
+	// Snapshots expose it as the remaining budget instead — an absolute
+	// instant is useless to an operator reading JSON.
+	Deadline time.Time `json:"-"`
+	// DeadlineRemainingMS is filled at snapshot time from Deadline.
+	DeadlineRemainingMS int64 `json:"deadline_remaining_ms,omitempty"`
+	// BytesWritten is filled at snapshot time from bytes.
+	BytesWritten int64 `json:"bytes_written"`
+
+	// bytes counts response-body bytes as the stream writes them; shared
+	// with the response writer, hence atomic.
+	bytes *atomic.Int64
 }
 
 // sessionTable tracks live sessions. It is deliberately tiny: an ID
@@ -32,7 +46,7 @@ func newSessionTable() *sessionTable {
 }
 
 // open registers a new live session.
-func (t *sessionTable) open(view, strategy, remoteAddr string) *Session {
+func (t *sessionTable) open(view, strategy, tenant, remoteAddr string, deadline time.Time) *Session {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.next++
@@ -40,8 +54,11 @@ func (t *sessionTable) open(view, strategy, remoteAddr string) *Session {
 		ID:         t.next,
 		View:       view,
 		Strategy:   strategy,
+		Tenant:     tenant,
 		RemoteAddr: remoteAddr,
 		Started:    time.Now(),
+		Deadline:   deadline,
+		bytes:      new(atomic.Int64),
 	}
 	t.live[s.ID] = s
 	return s
@@ -54,13 +71,24 @@ func (t *sessionTable) close(s *Session) {
 	delete(t.live, s.ID)
 }
 
-// snapshot returns the live sessions ordered by ID (admission order).
+// snapshot returns the live sessions ordered by ID (admission order), with
+// the derived JSON fields (remaining budget, bytes written) filled in.
 func (t *sessionTable) snapshot() []Session {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	now := time.Now()
 	out := make([]Session, 0, len(t.live))
 	for _, s := range t.live {
-		out = append(out, *s)
+		c := *s
+		if !c.Deadline.IsZero() {
+			rem := c.Deadline.Sub(now).Milliseconds()
+			if rem < 1 {
+				rem = 1 // live but past-due: still distinguish from "no deadline"
+			}
+			c.DeadlineRemainingMS = rem
+		}
+		c.BytesWritten = s.bytes.Load()
+		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -71,4 +99,54 @@ func (t *sessionTable) count() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.live)
+}
+
+// oldestAge returns the age of the longest-lived live session matching the
+// tenant filter ("" matches all). ok is false when no session matches —
+// nothing is draining, so there is nothing to extrapolate from.
+func (t *sessionTable) oldestAge(tenant string) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var oldest time.Time
+	for _, s := range t.live {
+		if tenant != "" && s.Tenant != tenant {
+			continue
+		}
+		if oldest.IsZero() || s.Started.Before(oldest) {
+			oldest = s.Started
+		}
+	}
+	if oldest.IsZero() {
+		return 0, false
+	}
+	return time.Since(oldest), true
+}
+
+// Bounds on the drain-derived Retry-After hint: never tell a client to
+// hammer sub-second, never park it for more than a minute.
+const (
+	minRetryAfter = time.Second
+	maxRetryAfter = time.Minute
+)
+
+// drainRetryAfter turns the observed session drain rate into an honest
+// Retry-After hint. The oldest live session has been streaming for
+// `oldest`; if the full quota of `quota` slots drains at that per-session
+// pace, one slot frees up after roughly oldest/quota more — the
+// steady-state estimate for uniformly staggered sessions. The result is
+// clamped to [minRetryAfter, maxRetryAfter]; with nothing live to observe
+// (oldest <= 0 or quota <= 0) the configured fallback applies, itself
+// clamped the same way.
+func drainRetryAfter(oldest time.Duration, quota int, fallback time.Duration) time.Duration {
+	est := fallback
+	if oldest > 0 && quota > 0 {
+		est = oldest / time.Duration(quota)
+	}
+	if est < minRetryAfter {
+		est = minRetryAfter
+	}
+	if est > maxRetryAfter {
+		est = maxRetryAfter
+	}
+	return est
 }

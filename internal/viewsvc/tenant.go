@@ -1,0 +1,208 @@
+package viewsvc
+
+// Per-tenant overload control. One greedy consumer must not be able to
+// starve every other tenant of the view service: each tenant identity gets
+// its own token-bucket rate limit and a concurrency quota carved out of the
+// server-wide MaxConcurrent, both enforced *before* the global admission
+// semaphore. A tenant over its own quota answers 429 (its problem); a
+// server past MaxConcurrent answers 503 (everyone's problem) — the status
+// split is what lets a well-behaved client distinguish "back off, you" from
+// "back off, everyone".
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the identity assigned to requests that carry no tenant
+// header and no recognized API key.
+const DefaultTenant = "default"
+
+// TenantLimits bounds one tenant's share of the service. The zero value of
+// each field disables that dimension (unlimited).
+type TenantLimits struct {
+	// Rate is the sustained request rate in requests/second replenishing
+	// the tenant's token bucket. <= 0 means unlimited rate.
+	Rate float64
+	// Burst is the bucket depth: how many requests may arrive back to back
+	// before the rate gates. <= 0 with Rate set means a depth of 1.
+	Burst int
+	// MaxConcurrent caps the tenant's simultaneously streaming responses —
+	// its carve-out of the server-wide Limits.MaxConcurrent. <= 0 means no
+	// per-tenant concurrency cap (the global semaphore still applies).
+	MaxConcurrent int
+}
+
+func (l TenantLimits) burst() float64 {
+	if l.Burst > 0 {
+		return float64(l.Burst)
+	}
+	return 1
+}
+
+// TenantState is one tenant's live quota picture, for the admin endpoint.
+type TenantState struct {
+	Tenant        string  `json:"tenant"`
+	Rate          float64 `json:"rate,omitempty"`
+	Burst         int     `json:"burst,omitempty"`
+	MaxConcurrent int     `json:"max_concurrent,omitempty"`
+	// Tokens is the bucket's current depth (requests admittable right now
+	// before the rate gates).
+	Tokens float64 `json:"tokens"`
+	// InFlight is the tenant's currently streaming responses.
+	InFlight int `json:"in_flight"`
+	// RejectedRate / RejectedConcurrency count 429s by cause over the
+	// process lifetime.
+	RejectedRate        int64 `json:"rejected_rate"`
+	RejectedConcurrency int64 `json:"rejected_concurrency"`
+}
+
+// tenant is one identity's live accounting: a token bucket refilled by
+// wall clock under its own mutex, plus an in-use concurrency counter.
+type tenant struct {
+	name   string
+	limits TenantLimits
+
+	mu       sync.Mutex
+	tokens   float64
+	lastFill time.Time
+	inUse    int
+	rejRate  int64
+	rejConc  int64
+}
+
+// admit runs the tenant's own admission checks. It returns ok=true with
+// the concurrency slot taken (the caller MUST call release exactly once),
+// or ok=false with the 429 cause and a Retry-After hint: for a drained
+// bucket the hint is exact — the time until the next token exists — and
+// for a full concurrency quota it is zero, letting the caller derive an
+// estimate from observed session drain instead.
+func (t *tenant) admit(now time.Time) (ok bool, retryAfter time.Duration, cause string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limits.Rate > 0 {
+		t.refill(now)
+		if t.tokens < 1 {
+			t.rejRate++
+			need := (1 - t.tokens) / t.limits.Rate
+			return false, time.Duration(need * float64(time.Second)), "rate"
+		}
+	}
+	if t.limits.MaxConcurrent > 0 && t.inUse >= t.limits.MaxConcurrent {
+		t.rejConc++
+		return false, 0, "concurrency"
+	}
+	if t.limits.Rate > 0 {
+		t.tokens--
+	}
+	t.inUse++
+	return true, 0, ""
+}
+
+// refill tops the bucket up for the wall clock elapsed since the last
+// fill. Caller holds t.mu.
+func (t *tenant) refill(now time.Time) {
+	if t.lastFill.IsZero() {
+		t.tokens = t.limits.burst()
+		t.lastFill = now
+		return
+	}
+	elapsed := now.Sub(t.lastFill).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	t.tokens += elapsed * t.limits.Rate
+	if max := t.limits.burst(); t.tokens > max {
+		t.tokens = max
+	}
+	t.lastFill = now
+}
+
+// release returns the concurrency slot taken by a successful admit.
+func (t *tenant) release() {
+	t.mu.Lock()
+	t.inUse--
+	t.mu.Unlock()
+}
+
+// state snapshots the tenant for the admin endpoint.
+func (t *tenant) state(now time.Time) TenantState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limits.Rate > 0 {
+		t.refill(now)
+	}
+	return TenantState{
+		Tenant:              t.name,
+		Rate:                t.limits.Rate,
+		Burst:               t.limits.Burst,
+		MaxConcurrent:       t.limits.MaxConcurrent,
+		Tokens:              t.tokens,
+		InFlight:            t.inUse,
+		RejectedRate:        t.rejRate,
+		RejectedConcurrency: t.rejConc,
+	}
+}
+
+// tenantTable resolves tenant names to their live accounting, creating
+// unnamed tenants with the default limits on first sight.
+type tenantTable struct {
+	mu         sync.Mutex
+	configured map[string]TenantLimits
+	defaults   TenantLimits
+	tenants    map[string]*tenant
+}
+
+func newTenantTable(configured map[string]TenantLimits, defaults TenantLimits) *tenantTable {
+	return &tenantTable{
+		configured: configured,
+		defaults:   defaults,
+		tenants:    make(map[string]*tenant),
+	}
+}
+
+// get returns the named tenant's accounting, creating it on first use —
+// configured tenants get their configured limits, everyone else the
+// defaults (but each name gets its own bucket, so two unknown tenants
+// never share a quota).
+func (tt *tenantTable) get(name string) *tenant {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	t, ok := tt.tenants[name]
+	if !ok {
+		limits, configured := tt.configured[name]
+		if !configured {
+			limits = tt.defaults
+		}
+		t = &tenant{name: name, limits: limits}
+		tt.tenants[name] = t
+	}
+	return t
+}
+
+// states snapshots every tenant seen so far, lexically by name.
+func (tt *tenantTable) states(now time.Time) []TenantState {
+	tt.mu.Lock()
+	names := make([]string, 0, len(tt.tenants))
+	list := make([]*tenant, 0, len(tt.tenants))
+	for n, t := range tt.tenants {
+		names = append(names, n)
+		list = append(list, t)
+	}
+	tt.mu.Unlock()
+	// Sort by name; the parallel slices stay aligned via index sort.
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && names[order[j-1]] > names[order[j]]; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	out := make([]TenantState, 0, len(list))
+	for _, i := range order {
+		out = append(out, list[i].state(now))
+	}
+	return out
+}

@@ -316,15 +316,64 @@ func isDeadline(err error) bool {
 // span's trace ID and span ID (the server's parent). The span is created
 // once per logical request, before the retry loop, so every attempt
 // carries the same IDs and a retried request still forms one trace.
-func encodeRequest(kind byte, span *obs.Span, sql string) []byte {
-	if span == nil {
+//
+// When budget > 0 the budgeted kind is sent ('Q' → 'B', 'E' → 'F', traced
+// 'b'/'f') and the remaining deadline budget rides as 8 big-endian
+// nanosecond bytes after the trace header, so the server can bound its own
+// work by what the caller can still use.
+func encodeRequest(kind byte, span *obs.Span, budget time.Duration, sql string) []byte {
+	if budget > 0 {
+		switch kind {
+		case 'Q':
+			kind = 'B'
+		case 'E':
+			kind = 'F'
+		}
+	}
+	if span == nil && budget <= 0 {
 		return append([]byte{kind}, sql...)
 	}
-	buf := make([]byte, 0, 1+16+len(sql))
-	buf = append(buf, kind|0x20) // 'Q' → 'q', 'E' → 'e'
-	buf = binary.BigEndian.AppendUint64(buf, uint64(span.Trace))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(span.ID))
+	buf := make([]byte, 0, 1+16+8+len(sql))
+	if span != nil {
+		kind |= 0x20 // 'Q' → 'q', 'E' → 'e', 'B' → 'b', 'F' → 'f'
+	}
+	buf = append(buf, kind)
+	if span != nil {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(span.Trace))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(span.ID))
+	}
+	if budget > 0 {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(budget))
+	}
 	return append(buf, sql...)
+}
+
+// budgetFor converts the request's effective deadline into the wire budget:
+// the time remaining until it, floored at one nanosecond (a deadline in the
+// past still rides as a positive budget, which the server refuses without
+// executing). Zero means no deadline — nothing rides the wire.
+func budgetFor(deadline time.Time) time.Duration {
+	if deadline.IsZero() {
+		return 0
+	}
+	if b := time.Until(deadline); b > 0 {
+		return b
+	}
+	return time.Nanosecond
+}
+
+// budgetCheck sheds a request whose effective deadline has already passed,
+// before any connection is acquired or dialed: the caller can no longer
+// use the answer, so opening a backend stream for it is pure waste. The
+// check sits in the per-attempt path (queryOnce/estimateOnce), so fresh
+// requests, retries, resumes, cross-replica failovers, and per-shard
+// scatters are all covered.
+func (c *Client) budgetCheck(ctx context.Context, op string) error {
+	if d := c.requestDeadline(ctx); !d.IsZero() && !time.Now().Before(d) {
+		obs.M().ClientBudgetExpired()
+		return fmt.Errorf("wire: %s: budget spent: %w", op, ErrDeadlineExceeded)
+	}
+	return nil
 }
 
 // transient reports whether a pre-stream failure is worth a fresh attempt:
@@ -433,6 +482,9 @@ func (c *Client) queryRetry(ctx context.Context, span *obs.Span, sql string) (*R
 // (closed by the server while idle) are replaced with a fresh dial without
 // consuming a retry attempt.
 func (c *Client) queryOnce(ctx context.Context, span *obs.Span, sql string) (*Rows, error) {
+	if err := c.budgetCheck(ctx, "query"); err != nil {
+		return nil, err
+	}
 	if err := c.breakerAllow(); err != nil {
 		return nil, fmt.Errorf("wire: query: %w", err)
 	}
@@ -466,7 +518,8 @@ func (c *Client) queryAttempt(ctx context.Context, span *obs.Span, sql string) (
 // connection is closed (or repooled after a clean server error frame,
 // which leaves the connection synchronized).
 func (c *Client) openStream(ctx context.Context, conn net.Conn, span *obs.Span, sql string) (*Rows, error) {
-	conn.SetDeadline(c.requestDeadline(ctx))
+	deadline := c.requestDeadline(ctx)
+	conn.SetDeadline(deadline)
 	w := watchCancel(ctx, conn)
 	fail := func(op string, err error) error {
 		w.Stop()
@@ -474,7 +527,7 @@ func (c *Client) openStream(ctx context.Context, conn net.Conn, span *obs.Span, 
 		return wrapErr(ctx, op, err)
 	}
 	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, encodeRequest('Q', span, sql)); err != nil {
+	if err := writeFrame(bw, encodeRequest('Q', span, budgetFor(deadline), sql)); err != nil {
 		return nil, fail("send query", err)
 	}
 	if err := bw.Flush(); err != nil {
@@ -665,6 +718,9 @@ func (c *Client) estimateRetry(ctx context.Context, span *obs.Span, sql string) 
 }
 
 func (c *Client) estimateOnce(ctx context.Context, span *obs.Span, sql string) (engine.Estimate, error) {
+	if err := c.budgetCheck(ctx, "estimate"); err != nil {
+		return engine.Estimate{}, err
+	}
 	if err := c.breakerAllow(); err != nil {
 		return engine.Estimate{}, fmt.Errorf("wire: estimate: %w", err)
 	}
@@ -696,7 +752,8 @@ func (c *Client) estimateAttempt(ctx context.Context, span *obs.Span, sql string
 // estimateOn runs one estimate exchange on conn, returning it to the pool
 // on any complete response ('V' or a clean error frame).
 func (c *Client) estimateOn(ctx context.Context, conn net.Conn, span *obs.Span, sql string) (engine.Estimate, error) {
-	conn.SetDeadline(c.requestDeadline(ctx))
+	deadline := c.requestDeadline(ctx)
+	conn.SetDeadline(deadline)
 	w := watchCancel(ctx, conn)
 	fail := func(op string, err error) (engine.Estimate, error) {
 		w.Stop()
@@ -704,7 +761,7 @@ func (c *Client) estimateOn(ctx context.Context, conn net.Conn, span *obs.Span, 
 		return engine.Estimate{}, wrapErr(ctx, op, err)
 	}
 	bw := bufio.NewWriter(conn)
-	if err := writeFrame(bw, encodeRequest('E', span, sql)); err != nil {
+	if err := writeFrame(bw, encodeRequest('E', span, budgetFor(deadline), sql)); err != nil {
 		return fail("send estimate", err)
 	}
 	if err := bw.Flush(); err != nil {

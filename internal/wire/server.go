@@ -46,6 +46,13 @@ type Server struct {
 	shutdown  bool
 }
 
+// minServableBudget is the smallest deadline budget the server will accept
+// for a budgeted request: below it, even the cheapest execute-and-stream
+// cannot finish in time, so the request is refused with CodeDeadline
+// before the engine runs — honoring the contract that an expired budget
+// never starts backend work.
+const minServableBudget = time.Millisecond
+
 // srvConn is the server's bookkeeping for one connection.
 type srvConn struct {
 	active bool               // a request is in flight
@@ -259,7 +266,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		// parent span ID) between the kind byte and the SQL.
 		var trace obs.TraceID
 		var parent obs.SpanID
-		if kind == 'q' || kind == 'e' {
+		if kind == 'q' || kind == 'e' || kind == 'b' || kind == 'f' {
 			if len(payload) < 16 {
 				_ = writeError(bw, CodeBadRequest, "truncated trace header")
 				s.endRequest(conn)
@@ -268,7 +275,42 @@ func (s *Server) ServeConn(conn net.Conn) {
 			trace = obs.TraceID(binary.BigEndian.Uint64(payload[:8]))
 			parent = obs.SpanID(binary.BigEndian.Uint64(payload[8:16]))
 			payload = payload[16:]
-			kind -= 0x20 // normalize 'q'/'e' → 'Q'/'E'
+			kind -= 0x20 // normalize 'q'/'e'/'b'/'f' → 'Q'/'E'/'B'/'F'
+		}
+		// Budgeted kinds carry the caller's remaining deadline budget as 8
+		// big-endian nanosecond bytes before the SQL: the server caps its own
+		// work at it, and refuses an already-spent budget without executing.
+		var budget time.Duration
+		var budgetCancel context.CancelFunc
+		if kind == 'B' || kind == 'F' {
+			if len(payload) < 8 {
+				_ = writeError(bw, CodeBadRequest, "truncated budget header")
+				s.endRequest(conn)
+				return
+			}
+			budget = time.Duration(binary.BigEndian.Uint64(payload[:8]))
+			payload = payload[8:]
+			if kind == 'B' {
+				kind = 'Q'
+			} else {
+				kind = 'E'
+			}
+			if budget < minServableBudget {
+				// Too little budget to execute anything and stream it back:
+				// answer the typed refusal without touching the engine. The
+				// connection stays request-aligned.
+				obs.M().ServerBudgetRefused()
+				s.endRequest(conn)
+				if writeError(bw, CodeDeadline, "deadline budget spent") != nil {
+					return
+				}
+				conn.SetDeadline(time.Time{})
+				continue
+			}
+			ctx, budgetCancel = context.WithTimeout(ctx, budget)
+			if d, ok := ctx.Deadline(); ok {
+				conn.SetDeadline(d)
+			}
 		}
 		sqlText := string(payload)
 
@@ -293,6 +335,9 @@ func (s *Server) ServeConn(conn net.Conn) {
 			keep = writeError(bw, CodeBadRequest, "unknown request kind") == nil
 		}
 		m.ServerRequestEnd(time.Since(start), errors.Is(ctx.Err(), context.DeadlineExceeded))
+		if budgetCancel != nil {
+			budgetCancel()
+		}
 		s.endRequest(conn)
 		if !keep {
 			return

@@ -38,6 +38,17 @@
 // to validate cached XML before serving; it is never retried — a failed
 // probe means "run cold", not "serve stale".
 //
+// The budgeted kinds 'B' (query) and 'F' (estimate), traced 'b'/'f', carry
+// the caller's remaining deadline budget as 8 big-endian nanosecond bytes
+// between the (optional) trace header and the SQL. The server caps its own
+// request context at the budget — execution plus streaming abort once the
+// caller can no longer use the answer — and refuses a budget below its
+// minimum servable threshold with an 'E' CodeDeadline frame before the
+// engine runs at all. The client sends the budgeted kind automatically
+// whenever its effective deadline (context deadline or per-request
+// timeout) is known; peers without deadlines keep sending 'Q'/'E', and
+// the response format is identical either way.
+//
 // The error frame's code byte carries a Code, so typed failures
 // (cancellation, deadline, shutdown) survive errors.Is across the network
 // boundary.

@@ -17,6 +17,7 @@ import (
 	"silkroute/internal/chaos"
 	"silkroute/internal/engine"
 	"silkroute/internal/fragcache"
+	"silkroute/internal/obs"
 	"silkroute/internal/plan"
 	"silkroute/internal/plancache"
 	"silkroute/internal/rxl"
@@ -84,9 +85,10 @@ type config struct {
 	dialer func(context.Context) (net.Conn, error)
 	source *Schema
 
-	planCache bool
-	fragBytes int64
-	fragSet   bool
+	planCache  bool
+	fragBytes  int64
+	fragSet    bool
+	serveStale bool
 
 	retry            Retry
 	retrySet         bool
@@ -286,6 +288,7 @@ func (c *config) apply(v *View) {
 			v.frags = v.db.fragCache(c.fragBytes)
 		}
 	}
+	v.serveStale = c.serveStale
 }
 
 func buildConfig(opts []Option) *config {
@@ -659,6 +662,10 @@ type View struct {
 	// was built with WithPlanCache / WithFragmentCache.
 	plans *plancache.Cache
 	frags *fragcache.Cache
+	// serveStale opts the view into serving its last complete cached
+	// document when the backend is entirely unhealthy. Set with
+	// WithServeStale.
+	serveStale bool
 }
 
 // ParseView compiles an RXL view definition against the database's schema.
@@ -725,6 +732,13 @@ type Report struct {
 	// many times a stream's frontier suffix was re-issued on a different
 	// replica after same-replica resume gave up (ConnectReplicas only).
 	Failovers int
+	// ServedStale reports that the document came from a stale fragment-cache
+	// entry because the backend was entirely unhealthy (WithServeStale
+	// views only). The document is a complete earlier materialization;
+	// StaleAge says how old.
+	ServedStale bool
+	// StaleAge is the age of the stale entry served (ServedStale only).
+	StaleAge time.Duration
 }
 
 // StreamStat is one tuple stream's share of a materialization.
@@ -768,11 +782,99 @@ func (v *View) Materialize(ctx context.Context, w io.Writer, s Strategy) (*Repor
 	if rep, served, err := v.serveCached(ctx, w, s); served {
 		return rep, err
 	}
-	p, rep, err := v.plan(ctx, s)
-	if err != nil {
-		return nil, err
+	if !v.serveStale {
+		p, rep, err := v.plan(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return v.execute(ctx, w, p, rep)
 	}
-	return v.execute(ctx, w, p, rep)
+	// Serve-stale is armed: count the bytes that escape to w, because the
+	// fallback is only legal while the response is still untouched — a
+	// stale document must never be mixed with fresh bytes.
+	cw := &countingWriter{w: w}
+	p, rep, err := v.plan(ctx, s)
+	if err == nil {
+		rep, err = v.execute(ctx, cw, p, rep)
+	}
+	if err != nil && cw.n == 0 && BackendUnhealthy(err) {
+		if srep, ok, serr := v.WriteStale(w); ok {
+			return srep, serr
+		}
+	}
+	return rep, err
+}
+
+// BackendUnhealthy reports whether err means the backend is entirely
+// unreachable right now — every replica open-circuit, or the single
+// backend's breaker open — the condition under which serve-stale
+// degradation (WithServeStale, viewsvc serve-stale mode) engages. Other
+// failures (SQL errors, deadlines, cancellation, mid-stream losses) are
+// not degradation candidates: they fail closed.
+func BackendUnhealthy(err error) bool {
+	return errors.Is(err, ErrNoHealthyReplica) || errors.Is(err, ErrCircuitOpen)
+}
+
+// WriteStale serves the view's cached document without a freshness check:
+// the complete fragment-cache entry from the last successful
+// materialization, byte-identical to what that run produced, regardless of
+// how stale it has since become. ok=false when the view has no fragment
+// cache or no complete entry — the caller must then surface its original
+// error. The returned Report carries ServedStale and the entry's age, so
+// HTTP layers can stamp an explicit staleness header before streaming.
+//
+// The entry is an immutable snapshot: invalidation or eviction racing this
+// call cannot mutate it, so a stale serve is always one complete earlier
+// document — never a partial, never mixed bytes.
+func (v *View) WriteStale(w io.Writer) (rep *Report, ok bool, err error) {
+	if v.frags == nil {
+		return nil, false, nil
+	}
+	e := v.frags.Get(v.fingerprint())
+	if e == nil {
+		return nil, false, nil
+	}
+	obs.M().HTTPStaleServe()
+	start := time.Now()
+	if _, werr := e.WriteTo(w); werr != nil {
+		return nil, true, werr
+	}
+	return &Report{
+		FragmentCached: true,
+		ServedStale:    true,
+		StaleAge:       e.Age(),
+		TotalTime:      time.Since(start),
+	}, true, nil
+}
+
+// StaleEntry peeks at whether WriteStale could currently serve, and how
+// old the document it would serve is — without writing anything. HTTP
+// layers use it to commit response headers (status, staleness markers)
+// before the first body byte. The peek is advisory: the entry can be
+// invalidated between StaleEntry and WriteStale, in which case WriteStale
+// reports ok=false having written nothing.
+func (v *View) StaleEntry() (age time.Duration, ok bool) {
+	if v.frags == nil {
+		return 0, false
+	}
+	e := v.frags.Get(v.fingerprint())
+	if e == nil {
+		return 0, false
+	}
+	return e.Age(), true
+}
+
+// countingWriter counts the bytes that pass through to w; the serve-stale
+// fallback uses it to prove the response is still untouched.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // MaterializePlan evaluates the view with an explicit edge bitmask: bit i
